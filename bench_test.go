@@ -1,0 +1,183 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// reproduced table and figure (DESIGN.md §5), each running the full
+// experiment pipeline in its quick configuration. Run with
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root; cmd/experiments prints the full-size versions.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var benchCfg = experiments.Config{Quick: true, Seed: 1}
+
+// sinkTable/sinkFigure keep results alive so the compiler cannot elide the
+// experiment work.
+var (
+	sinkRows   int
+	sinkSeries int
+)
+
+func BenchmarkFigF1TunedVsUntuned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.FigF1TunedVsUntuned(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries += len(fig.Series)
+	}
+}
+
+func BenchmarkTabT1EngineSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT1EngineSpeedup(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkTabT2DesignComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT2DesignComparison(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkTabT3RSMAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT3RSMAccuracy(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkTabT4ExplorationSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT4ExplorationSpeed(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkFigF2Surface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.FigF2Surface(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries += len(fig.Series)
+	}
+}
+
+func BenchmarkFigF3Tradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.FigF3Tradeoff(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries += len(fig.Series)
+	}
+}
+
+func BenchmarkTabT5Optimizers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT5Optimizers(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkFigF4TuningTransient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.FigF4TuningTransient(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries += len(fig.Series)
+	}
+}
+
+func BenchmarkTabT6Scenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT6Scenarios(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkTabT7ANOVA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT7ANOVA(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkTabT8Refinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabT8Refinement(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkFigF5BuildCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.FigF5BuildCost(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries += len(fig.Series)
+	}
+}
+
+func BenchmarkTabA1StepSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabA1StepSize(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkTabA5MultiplierModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabA5MultiplierModels(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}
+
+func BenchmarkTabA6Estimators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TabA6Estimators(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += len(t.Rows)
+	}
+}

@@ -1,0 +1,463 @@
+// Command ehdoe is the DoE-based design-flow toolkit of the paper: build
+// response surfaces from a designed set of simulations, then explore,
+// validate and optimize the captured design space instantly.
+//
+// Subcommands:
+//
+//	ehdoe build    -design ccf|cci|bbd|lhs|dopt [-runs N] [-horizon 60] [-amp 0.6] -out surfaces.json
+//	ehdoe info     -model surfaces.json
+//	ehdoe predict  -model surfaces.json -at "period=5,supercap=0.05,vth=3.0,freq_off=0"
+//	ehdoe sweep    -model surfaces.json -response packets -factor period [-points 21]
+//	ehdoe optimize -model surfaces.json -response stored_energy_J [-min] [-confirm]
+//	ehdoe validate -model surfaces.json [-n 10] [-seed 1]
+//	ehdoe anova    -model surfaces.json -response stored_energy_J
+//
+// The build step is the only one that runs simulations; everything after
+// it operates on the saved surfaces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/doe"
+	"repro/internal/opt"
+	"repro/internal/report"
+	"repro/internal/rsm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "anova":
+		err = cmdANOVA(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ehdoe: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ehdoe: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ehdoe <build|info|predict|sweep|optimize|validate|anova> [flags]
+run "ehdoe <subcommand> -h" for the flags of each subcommand`)
+}
+
+// problem rebuilds the standard 4-factor problem the saved surfaces were
+// (and will be) fitted against.
+func problem(amp, horizon float64) *core.Problem {
+	return core.StandardProblem(amp, horizon)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	designName := fs.String("design", "ccf", "experiment design: ccf, cci, bbd, lhs or dopt")
+	runs := fs.Int("runs", 0, "run budget for lhs/dopt (default: CCF-equivalent)")
+	horizon := fs.Float64("horizon", 60, "simulated duration per run (s)")
+	amp := fs.Float64("amp", 0.6, "excitation amplitude (m/s²)")
+	seed := fs.Int64("seed", 1, "seed for randomized designs")
+	out := fs.String("out", "surfaces.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := problem(*amp, *horizon)
+	k := len(p.Factors)
+	quad := rsm.FullQuadratic(k)
+
+	ccf, err := doe.CentralComposite(k, doe.CCF, 3)
+	if err != nil {
+		return err
+	}
+	n := *runs
+	if n <= 0 {
+		n = ccf.N()
+	}
+	var design *doe.Design
+	switch strings.ToLower(*designName) {
+	case "ccf":
+		design = ccf
+	case "cci":
+		design, err = doe.CentralComposite(k, doe.CCI, 3)
+	case "bbd":
+		design, err = doe.BoxBehnken(k, 3)
+	case "lhs":
+		design, err = doe.LatinHypercube(k, n, *seed, 500)
+	case "dopt":
+		var grid *doe.Design
+		grid, err = doe.FullFactorial(k, 3)
+		if err == nil {
+			design, err = doe.DOptimal(grid, n, quad.Row, *seed, 0)
+		}
+	default:
+		return fmt.Errorf("unknown design %q", *designName)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("running %d simulations (%s, horizon %.0f s)...\n", design.N(), design.Name, *horizon)
+	ds, err := p.RunDesign(design)
+	if err != nil {
+		return err
+	}
+	s, err := p.BuildSurfaces(ds, quad)
+	if err != nil {
+		return err
+	}
+	saved := s.SaveWithData(ds)
+	data, err := saved.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	t := report.NewTable("fitted surfaces", "response", "R2", "RMSE")
+	for _, id := range saved.Responses() {
+		t.AddRow(string(id), saved.R2[id], saved.RMSE[id])
+	}
+	t.AddNote("simulation %.0f ms, fitting %.1f ms; saved to %s", float64(ds.SimTime.Milliseconds()), float64(s.FitTime.Microseconds())/1e3, *out)
+	fmt.Println(t.String())
+	return nil
+}
+
+func loadModel(path string) (*core.SavedSurfaces, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeSurfaces(data)
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	model := fs.String("model", "surfaces.json", "saved surfaces file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("surfaces: %s (%d runs, horizon %.0f s)", ss.DesignName, ss.Runs, ss.Horizon),
+		"factor", "min", "max", "unit")
+	for _, f := range ss.Factors {
+		t.AddRow(f.Name, f.Min, f.Max, f.Unit)
+	}
+	fmt.Println(t.String())
+	rt := report.NewTable("responses", "response", "R2", "RMSE")
+	for _, id := range ss.Responses() {
+		rt.AddRow(string(id), ss.R2[id], ss.RMSE[id])
+	}
+	fmt.Println(rt.String())
+	return nil
+}
+
+// parsePoint parses "name=value,name=value" against the saved factors into
+// natural units.
+func parsePoint(ss *core.SavedSurfaces, spec string) ([]float64, error) {
+	nat := make([]float64, len(ss.Factors))
+	seen := make([]bool, len(ss.Factors))
+	for i, f := range ss.Factors {
+		nat[i] = (f.Min + f.Max) / 2 // default: centre
+		_ = seen[i]
+	}
+	if spec == "" {
+		return nat, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad assignment %q (want name=value)", kv)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %w", kv, err)
+		}
+		found := false
+		for i, f := range ss.Factors {
+			if f.Name == parts[0] {
+				nat[i] = v
+				seen[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown factor %q", parts[0])
+		}
+	}
+	return nat, nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	model := fs.String("model", "surfaces.json", "saved surfaces file")
+	at := fs.String("at", "", "design point in natural units, e.g. period=5,supercap=0.05")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	nat, err := parsePoint(ss, *at)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("prediction", "response", "value")
+	for _, id := range ss.Responses() {
+		v, err := ss.PredictNatural(id, nat)
+		if err != nil {
+			return err
+		}
+		t.AddRow(string(id), v)
+	}
+	var desc []string
+	for i, f := range ss.Factors {
+		desc = append(desc, fmt.Sprintf("%s=%.4g%s", f.Name, nat[i], f.Unit))
+	}
+	t.AddNote("at %s", strings.Join(desc, ", "))
+	fmt.Println(t.String())
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	model := fs.String("model", "surfaces.json", "saved surfaces file")
+	response := fs.String("response", string(core.RespPackets), "response to sweep")
+	factor := fs.String("factor", "", "factor to sweep over its full range")
+	points := fs.Int("points", 21, "sweep resolution")
+	at := fs.String("at", "", "fixed values for the other factors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	fi := -1
+	for i, f := range ss.Factors {
+		if f.Name == *factor {
+			fi = i
+			break
+		}
+	}
+	if fi < 0 {
+		return fmt.Errorf("unknown factor %q", *factor)
+	}
+	if *points < 2 {
+		return fmt.Errorf("need ≥2 points")
+	}
+	nat, err := parsePoint(ss, *at)
+	if err != nil {
+		return err
+	}
+	id := core.ResponseID(*response)
+	f := ss.Factors[fi]
+	var xs, ys []float64
+	for i := 0; i < *points; i++ {
+		nat[fi] = f.Min + float64(i)/float64(*points-1)*(f.Max-f.Min)
+		v, err := ss.PredictNatural(id, nat)
+		if err != nil {
+			return err
+		}
+		xs = append(xs, nat[fi])
+		ys = append(ys, v)
+	}
+	fig := report.NewFigure(fmt.Sprintf("sweep of %s over %s", *response, f.Name), f.Name+"_"+f.Unit, *response)
+	if err := fig.Add(string(id), xs, ys); err != nil {
+		return err
+	}
+	fmt.Println(fig.String())
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	model := fs.String("model", "surfaces.json", "saved surfaces file")
+	response := fs.String("response", string(core.RespPackets), "response to optimize")
+	minimize := fs.Bool("min", false, "minimize instead of maximize")
+	confirm := fs.Bool("confirm", false, "confirm the optimum with one fresh simulation")
+	amp := fs.Float64("amp", 0.6, "excitation amplitude for the confirming run")
+	seed := fs.Int64("seed", 1, "multi-start seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	id := core.ResponseID(*response)
+	if _, ok := ss.Coef[id]; !ok {
+		return fmt.Errorf("model has no response %q", id)
+	}
+	obj := func(x []float64) float64 {
+		v, err := ss.Predict(id, x)
+		if err != nil {
+			return 0
+		}
+		if *minimize {
+			return v
+		}
+		return -v
+	}
+	bounds := opt.NewBounds(len(ss.Factors))
+	rng := rand.New(rand.NewSource(*seed))
+	var best *opt.Result
+	for i := 0; i < 6; i++ {
+		r, err := opt.NelderMead(obj, bounds, bounds.Random(rng), opt.NelderMeadConfig{MaxIters: 500})
+		if err != nil {
+			return err
+		}
+		if best == nil || r.F < best.F {
+			best = r
+		}
+	}
+	pred, err := ss.Predict(id, best.X)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("optimum", "factor", "natural", "coded")
+	for i, f := range ss.Factors {
+		t.AddRow(f.Name, f.Decode(best.X[i]), best.X[i])
+	}
+	t.AddNote("predicted %s = %.5g (%d surface evaluations)", id, pred, best.Evals)
+	if *confirm {
+		p := problem(*amp, ss.Horizon)
+		resp, err := p.ResponsesAt(best.X)
+		if err != nil {
+			return err
+		}
+		t.AddNote("confirmed by simulation: %s = %.5g", id, resp[id])
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	model := fs.String("model", "surfaces.json", "saved surfaces file")
+	n := fs.Int("n", 10, "number of fresh validation simulations")
+	amp := fs.Float64("amp", 0.6, "excitation amplitude")
+	seed := fs.Int64("seed", 1, "validation-point seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	p := problem(*amp, ss.Horizon)
+	rng := rand.New(rand.NewSource(*seed))
+	t := report.NewTable(fmt.Sprintf("validation at %d fresh points", *n),
+		"response", "mean_abs_err", "max_abs_err")
+	sums := map[core.ResponseID]float64{}
+	maxs := map[core.ResponseID]float64{}
+	for i := 0; i < *n; i++ {
+		x := make([]float64, len(ss.Factors))
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		resp, err := p.ResponsesAt(x)
+		if err != nil {
+			return err
+		}
+		for _, id := range ss.Responses() {
+			pred, err := ss.Predict(id, x)
+			if err != nil {
+				return err
+			}
+			e := pred - resp[id]
+			if e < 0 {
+				e = -e
+			}
+			sums[id] += e
+			if e > maxs[id] {
+				maxs[id] = e
+			}
+		}
+	}
+	for _, id := range ss.Responses() {
+		t.AddRow(string(id), sums[id]/float64(*n), maxs[id])
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func cmdANOVA(args []string) error {
+	fs := flag.NewFlagSet("anova", flag.ExitOnError)
+	model := fs.String("model", "surfaces.json", "saved surfaces file (built with embedded data)")
+	response := fs.String("response", string(core.RespStoredEnergy), "response to analyze")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	fit, err := ss.Refit(core.ResponseID(*response))
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(ss.Factors))
+	for i, f := range ss.Factors {
+		names[i] = f.Name
+	}
+	t := report.NewTable(fmt.Sprintf("ANOVA of %s", *response), "source", "dof", "SS", "F", "p")
+	for _, row := range fit.ANOVA() {
+		if row.Source == "regression" {
+			t.AddRow(row.Source, row.DoF, row.SS, row.F, row.P)
+		} else {
+			t.AddRow(row.Source, row.DoF, row.SS, "", "")
+		}
+	}
+	ts := fit.TStats()
+	ps := fit.PValues()
+	for i, term := range fit.Model.Terms {
+		if term.Degree() == 0 {
+			continue
+		}
+		f := ts[i] * ts[i]
+		t.AddRow("  "+term.Label(names), 1, f*fit.Sigma2, f, ps[i])
+	}
+	t.AddNote("R² %.4f, adjusted %.4f, PRESS %.4f", fit.R2, fit.AdjR2, fit.R2Pred)
+	if lof, err := fit.LackOfFitTest(ss.DesignRuns, ss.DataY[core.ResponseID(*response)]); err == nil {
+		t.AddNote("lack of fit: F = %.4g, p = %.4g (%d replicate groups)", lof.F, lof.P, lof.Replicates)
+	} else {
+		t.AddNote("lack of fit unavailable: %v", err)
+	}
+	if out := fit.OutlierRuns(3); len(out) > 0 {
+		t.AddNote("outlying runs (|studentized residual| > 3): %v — consider re-simulating", out)
+	}
+	fmt.Println(t.String())
+	return nil
+}

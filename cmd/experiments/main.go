@@ -1,0 +1,117 @@
+// Command experiments regenerates every reproduced table and figure of
+// DESIGN.md §5 (and the §6 ablations) at full size and prints them to
+// stdout; with -csv DIR it additionally writes one CSV per artifact.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only id] [-csv dir]
+//
+// where id is one of f1, t1, t2, t3, t4, f2, f3, t5, f4, t6, t7, t8, f5, a1, a5, a6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// artifact is one runnable experiment.
+type artifact struct {
+	id   string
+	name string
+	run  func(experiments.Config) (fmt.Stringer, string, error)
+}
+
+func tableArtifact(f func(experiments.Config) (*report.Table, error)) func(experiments.Config) (fmt.Stringer, string, error) {
+	return func(cfg experiments.Config) (fmt.Stringer, string, error) {
+		t, err := f(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return t, t.CSV(), nil
+	}
+}
+
+func figureArtifact(f func(experiments.Config) (*report.Figure, error)) func(experiments.Config) (fmt.Stringer, string, error) {
+	return func(cfg experiments.Config) (fmt.Stringer, string, error) {
+		fig, err := f(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return fig, fig.CSV(), nil
+	}
+}
+
+func main() {
+	quickFlag := flag.Bool("quick", false, "run the reduced (benchmark) configuration")
+	seed := flag.Int64("seed", 1, "seed for every randomized stage")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	csvDir := flag.String("csv", "", "directory to write one CSV per artifact")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quickFlag, Seed: *seed}
+	artifacts := []artifact{
+		{"f1", "R-F1 tuned vs untuned", figureArtifact(experiments.FigF1TunedVsUntuned)},
+		{"t1", "R-T1 engine speedup", tableArtifact(experiments.TabT1EngineSpeedup)},
+		{"t2", "R-T2 design comparison", tableArtifact(experiments.TabT2DesignComparison)},
+		{"t3", "R-T3 RSM accuracy", tableArtifact(experiments.TabT3RSMAccuracy)},
+		{"t4", "R-T4 exploration speed", tableArtifact(experiments.TabT4ExplorationSpeed)},
+		{"f2", "R-F2 response surface", figureArtifact(experiments.FigF2Surface)},
+		{"f3", "R-F3 trade-off front", figureArtifact(experiments.FigF3Tradeoff)},
+		{"t5", "R-T5 optimizers", tableArtifact(experiments.TabT5Optimizers)},
+		{"f4", "R-F4 tuning transient", figureArtifact(experiments.FigF4TuningTransient)},
+		{"t6", "R-T6 scenarios", tableArtifact(experiments.TabT6Scenarios)},
+		{"t7", "R-T7 ANOVA", tableArtifact(experiments.TabT7ANOVA)},
+		{"t8", "R-T8 region refinement", tableArtifact(experiments.TabT8Refinement)},
+		{"f5", "R-F5 build cost", figureArtifact(experiments.FigF5BuildCost)},
+		{"a1", "A1 step-size ablation", tableArtifact(experiments.TabA1StepSize)},
+		{"a5", "A5 multiplier models", tableArtifact(experiments.TabA5MultiplierModels)},
+		{"a6", "A6 estimator ablation", tableArtifact(experiments.TabA6Estimators)},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failures := 0
+	for _, a := range artifacts {
+		if len(selected) > 0 && !selected[a.id] {
+			continue
+		}
+		start := time.Now()
+		out, csv, err := a.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", a.name, err)
+			failures++
+			continue
+		}
+		fmt.Println(out.String())
+		fmt.Printf("(%s generated in %v)\n\n", a.id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, a.id+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

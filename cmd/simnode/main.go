@@ -1,0 +1,126 @@
+// Command simnode runs one full-system transient simulation of the
+// harvester-powered sensor node and prints every performance indicator —
+// the "single costly simulation" the DoE flow replaces with surface
+// evaluations.
+//
+// Usage:
+//
+//	simnode [-horizon 60] [-engine fast|ref] [-freq 45] [-amp 0.6]
+//	        [-period 10] [-cap 0.055] [-vth 3.1] [-tuned] [-waveform file.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/node"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+	"repro/internal/vibration"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "simnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against args, writing the report to w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("simnode", flag.ContinueOnError)
+	horizon := fs.Float64("horizon", 60, "simulated duration (s)")
+	engine := fs.String("engine", "fast", "engine: fast (linearized state-space) or ref (Newton-Raphson)")
+	freq := fs.Float64("freq", 45, "excitation frequency (Hz)")
+	amp := fs.Float64("amp", 0.6, "excitation amplitude (m/s²)")
+	period := fs.Float64("period", 10, "measurement period (s)")
+	capF := fs.Float64("cap", 0.055, "supercapacitor (F)")
+	vth := fs.Float64("vth", 3.1, "transmit threshold (V)")
+	v0 := fs.Float64("v0", 3.3, "initial store voltage (V)")
+	tuned := fs.Bool("tuned", false, "enable the resonance-tuning controller")
+	waveform := fs.String("waveform", "", "write decimated waveforms as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d := sim.DefaultDesign()
+	d.Node.Period = *period
+	d.Store.C = *capF
+	d.Policy = node.ThresholdPolicy{VThreshold: *vth}
+	d.InitialStoreV = *v0
+	if *tuned {
+		tc := tuner.DefaultConfig()
+		tc.Interval = 5
+		tc.ActuatorSpeed = 0.5e-3
+		d.Tuner = &tc
+	}
+	cfg := sim.Config{
+		Horizon:         *horizon,
+		Source:          vibration.Sine{Amplitude: *amp, Freq: *freq},
+		RecordWaveforms: *waveform != "",
+		Decimate:        100,
+	}
+	runEngine := sim.RunFast
+	if *engine == "ref" {
+		runEngine = sim.RunReference
+	} else if *engine != "fast" {
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	r, err := runEngine(d, cfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(fmt.Sprintf("simnode: %s engine, %.0f s at %.1f Hz / %.2f m/s²", *engine, *horizon, *freq, *amp),
+		"indicator", "value", "unit")
+	t.AddRow("avg harvested power", r.AvgHarvestedPower*1e6, "µW")
+	t.AddRow("harvested energy", r.HarvestedEnergy*1e3, "mJ")
+	t.AddRow("consumed energy", r.ConsumedEnergy*1e3, "mJ")
+	t.AddRow("net energy margin", r.NetEnergyMargin*1e3, "mJ")
+	t.AddRow("final store voltage", r.FinalStoreV, "V")
+	t.AddRow("stored energy", r.StoredEnergyEnd, "J")
+	t.AddRow("packets", r.Node.Packets, "")
+	t.AddRow("measurements", r.Node.Measurements, "")
+	t.AddRow("skipped transmissions", r.Node.SkippedTx, "")
+	t.AddRow("brownouts", r.Node.Brownouts, "")
+	t.AddRow("uptime fraction", r.UptimeFraction, "")
+	if math.IsNaN(r.Node.FirstTxTime) {
+		t.AddRow("time to first packet", "never", "")
+	} else {
+		t.AddRow("time to first packet", r.Node.FirstTxTime, "s")
+	}
+	if d.Tuner != nil {
+		t.AddRow("final resonance", r.FinalResFreq, "Hz")
+		t.AddRow("tuning energy", r.TuneEnergy*1e3, "mJ")
+		t.AddRow("tuner moves", r.TuneMoves, "")
+	}
+	t.AddRow("integration steps", r.Steps, "")
+	if r.NewtonIters > 0 {
+		t.AddRow("Newton iterations", r.NewtonIters, "")
+	}
+	t.AddRow("wall-clock", float64(r.Elapsed.Microseconds())/1e3, "ms")
+	fmt.Fprintln(w, t.String())
+
+	if *waveform != "" {
+		fig := report.NewFigure("waveforms", "t_s", "value")
+		for _, series := range []struct {
+			name string
+			data []float64
+		}{
+			{"store_V", r.StoreV}, {"disp_m", r.Disp}, {"emf_V", r.EMF}, {"res_Hz", r.ResFreq},
+		} {
+			if err := fig.Add(series.name, r.T, series.data); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(*waveform, []byte(fig.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "waveforms written to %s\n", *waveform)
+	}
+	return nil
+}

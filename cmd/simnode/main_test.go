@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFastEngine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"avg harvested power", "packets", "wall-clock", "fast engine"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReferenceEngine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "0.5", "-engine", "ref"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Newton iterations") {
+		t.Fatal("reference engine must report Newton work")
+	}
+}
+
+func TestRunTunedReportsTuner(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "5", "-tuned", "-freq", "60"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "final resonance") {
+		t.Fatal("tuned run must report resonance")
+	}
+}
+
+func TestRunWaveformCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "2", "-waveform", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(data), "\n", 2)[0]
+	if head != "t_s,store_V,disp_m,emf_V,res_Hz" {
+		t.Fatalf("csv header %q", head)
+	}
+}
+
+func TestRunRejectsBadEngine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-engine", "warp"}, &buf); err == nil {
+		t.Fatal("unknown engine must fail")
+	}
+}

@@ -1,0 +1,88 @@
+// Tuning example: the resonance-tuning controller tracking a machine whose
+// vibration frequency drifts, and what that buys in harvested energy.
+//
+// It runs the same drifting-excitation scenario three times — untuned,
+// tuned with a conservative controller, tuned with an aggressive one — and
+// prints the energy ledger of each, showing the trade-off between tuning
+// actuator energy and harvested energy that the DoE flow quantifies.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+	"repro/internal/vibration"
+)
+
+func main() {
+	const horizon = 180.0
+
+	// A machine spinning up: 48 Hz for a minute, then 66 Hz, then easing
+	// to 58 Hz — always inside the harvester's 45–90 Hz tunable band but
+	// far from its untuned 45 Hz resonance.
+	src, err := vibration.NewSteppedSine(0.6, []vibration.FreqStep{
+		{At: 0, Freq: 48},
+		{At: 60, Freq: 66},
+		{At: 120, Freq: 58},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var untunedPower float64 // filled by the first (untuned) run
+	run := func(name string, tc *tuner.Config) []interface{} {
+		d := sim.DefaultDesign()
+		d.Tuner = tc
+		r, err := sim.RunFast(d, sim.Config{Horizon: horizon, Source: src})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tc == nil {
+			untunedPower = r.AvgHarvestedPower
+		}
+		net := r.HarvestedEnergy - r.TuneEnergy
+		payback := "-"
+		if gain := r.AvgHarvestedPower - untunedPower; tc != nil && gain > 0 {
+			payback = fmt.Sprintf("%.0f", r.TuneEnergy/gain)
+		}
+		return []interface{}{
+			name,
+			r.HarvestedEnergy * 1e3,
+			r.TuneEnergy * 1e3,
+			net * 1e3,
+			r.FinalResFreq,
+			r.TuneMoves,
+			payback,
+		}
+	}
+
+	conservative := tuner.DefaultConfig()
+	conservative.Interval = 20
+	conservative.DeadbandHz = 2
+	conservative.ActuatorSpeed = 0.3e-3
+
+	aggressive := tuner.DefaultConfig()
+	aggressive.Interval = 4
+	aggressive.DeadbandHz = 0.3
+	aggressive.ActuatorSpeed = 1e-3
+
+	t := report.NewTable("drifting excitation: what resonance tuning buys",
+		"controller", "harvested_mJ", "tuning_cost_mJ", "net_mJ", "final_res_Hz", "moves", "payback_s")
+	t.AddRow(run("untuned", nil)...)
+	t.AddRow(run("conservative (20 s, ±2 Hz)", &conservative)...)
+	t.AddRow(run("aggressive (4 s, ±0.3 Hz)", &aggressive)...)
+	t.AddNote("excitation: 48 → 66 → 58 Hz steps at 0.6 m/s² over %.0f s; untuned resonance 45 Hz", horizon)
+	t.AddNote("payback = tuning energy / harvested-power gain over the untuned baseline")
+	fmt.Println(t.String())
+
+	fmt.Println("The controller pays actuator energy to keep the resonance on the")
+	fmt.Println("excitation; whether aggressive tracking is worth it depends on how")
+	fmt.Println("fast the environment drifts and how long the node stays deployed —")
+	fmt.Println("exactly the trade-off the DoE/RSM flow explores without re-running")
+	fmt.Println("transient simulations.")
+}

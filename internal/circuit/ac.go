@@ -1,0 +1,178 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ACResult is the small-signal response at one analysis frequency.
+type ACResult struct {
+	Freq    float64      // Hz
+	V       []complex128 // node phasors (index by node id; ground is 0)
+	BranchI []complex128 // branch-current phasors (V sources and inductors)
+}
+
+// Mag returns |V(node)|.
+func (r *ACResult) Mag(node int) float64 { return cmplx.Abs(r.V[node]) }
+
+// PhaseDeg returns the phase of V(node) in degrees.
+func (r *ACResult) PhaseDeg(node int) float64 {
+	return cmplx.Phase(r.V[node]) * 180 / math.Pi
+}
+
+// ACAnalysis performs classical small-signal AC analysis: the circuit is
+// linearized at its DC operating point (diodes become their incremental
+// conductances), the named voltage source is replaced by a unit (1 V) AC
+// stimulus, all other independent sources are zeroed, and the complex MNA
+// system is solved at each frequency.
+func (c *Circuit) ACAnalysis(acSource string, freqs []float64, cfg TransientConfig) ([]ACResult, error) {
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("circuit: no analysis frequencies")
+	}
+	var src *element
+	for _, e := range c.elems {
+		if e.name == acSource {
+			if e.kind != kindVSource {
+				return nil, fmt.Errorf("circuit: AC source %q is not a voltage source", acSource)
+			}
+			src = e
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("circuit: no voltage source named %q", acSource)
+	}
+	op, err := c.OperatingPoint(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: AC analysis needs a DC operating point: %w", err)
+	}
+
+	nn := len(c.nodeNames) - 1
+	dim := nn + c.nBranch
+	out := make([]ACResult, 0, len(freqs))
+	for _, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("circuit: non-positive analysis frequency %g", f)
+		}
+		w := 2 * math.Pi * f
+		g := make([][]complex128, dim)
+		for i := range g {
+			g[i] = make([]complex128, dim)
+		}
+		rhs := make([]complex128, dim)
+
+		stampY := func(a, b int, y complex128) {
+			if a > 0 {
+				g[a-1][a-1] += y
+			}
+			if b > 0 {
+				g[b-1][b-1] += y
+			}
+			if a > 0 && b > 0 {
+				g[a-1][b-1] -= y
+				g[b-1][a-1] -= y
+			}
+		}
+
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindResistor:
+				stampY(e.a, e.b, complex(1/e.value, 0))
+
+			case kindCapacitor:
+				stampY(e.a, e.b, complex(0, w*e.value))
+
+			case kindInductor:
+				bi := nn + e.branch
+				if e.a > 0 {
+					g[e.a-1][bi] += 1
+					g[bi][e.a-1] += 1
+				}
+				if e.b > 0 {
+					g[e.b-1][bi] -= 1
+					g[bi][e.b-1] -= 1
+				}
+				g[bi][bi] -= complex(0, w*e.value)
+
+			case kindDiode:
+				var va, vb float64
+				if e.a > 0 {
+					va = op.V[e.a]
+				}
+				if e.b > 0 {
+					vb = op.V[e.b]
+				}
+				gd, _ := diodeCompanion(e.diode, va-vb)
+				stampY(e.a, e.b, complex(gd, 0))
+
+			case kindVSource:
+				bi := nn + e.branch
+				if e.a > 0 {
+					g[e.a-1][bi] += 1
+					g[bi][e.a-1] += 1
+				}
+				if e.b > 0 {
+					g[e.b-1][bi] -= 1
+					g[bi][e.b-1] -= 1
+				}
+				if e == src {
+					rhs[bi] = 1 // unit AC stimulus
+				}
+
+			case kindISource:
+				// Independent current sources are zeroed (open) in AC.
+			}
+		}
+
+		sol, err := solveComplex(g, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: AC solve at %g Hz: %w", f, err)
+		}
+		res := ACResult{Freq: f, V: make([]complex128, len(c.nodeNames))}
+		for n := 1; n < len(c.nodeNames); n++ {
+			res.V[n] = sol[n-1]
+		}
+		res.BranchI = append(res.BranchI, sol[nn:]...)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// solveComplex performs in-place Gaussian elimination with partial
+// pivoting on a dense complex system.
+func solveComplex(a [][]complex128, b []complex128) ([]complex128, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if cmplx.Abs(a[r][col]) > cmplx.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if cmplx.Abs(a[piv][col]) == 0 {
+			return nil, ErrNoConverge
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]complex128, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,129 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestACLowPassCorner(t *testing.T) {
+	// RC low-pass: R=1k, C=159.15nF → f_c = 1/(2πRC) ≈ 1 kHz.
+	c := New()
+	in, out := c.Node("in"), c.Node("out")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(0)))
+	mustOK(t, c.AddResistor("R1", in, out, 1000))
+	mustOK(t, c.AddCapacitor("C1", out, 0, 159.15e-9, 0))
+	res, err := c.ACAnalysis("V1", []float64{10, 1000, 100000}, TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passband ≈ 1, corner ≈ 1/√2, far above ≈ 0.
+	if g := res[0].Mag(out); math.Abs(g-1) > 0.01 {
+		t.Fatalf("passband gain %v", g)
+	}
+	if g := res[1].Mag(out); math.Abs(g-1/math.Sqrt2) > 0.01 {
+		t.Fatalf("corner gain %v, want 0.707", g)
+	}
+	if g := res[2].Mag(out); g > 0.02 {
+		t.Fatalf("stopband gain %v", g)
+	}
+	// Phase at the corner is −45°.
+	if ph := res[1].PhaseDeg(out); math.Abs(ph+45) > 1 {
+		t.Fatalf("corner phase %v, want −45°", ph)
+	}
+}
+
+func TestACSeriesRLCResonance(t *testing.T) {
+	// Series RLC driven across the resistor: current peaks at
+	// f0 = 1/(2π√(LC)); the resistor voltage equals the source there.
+	const (
+		rr = 50.0
+		ll = 10e-3
+		cc = 1e-6
+	)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(ll*cc))
+	c := New()
+	in := c.Node("in")
+	n1 := c.Node("n1")
+	vr := c.Node("vr")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(0)))
+	mustOK(t, c.AddInductor("L1", in, n1, ll, 0))
+	mustOK(t, c.AddCapacitor("C1", n1, vr, cc, 0))
+	mustOK(t, c.AddResistor("R1", vr, 0, rr))
+	freqs := []float64{f0 / 3, f0, f0 * 3}
+	res, err := c.ACAnalysis("V1", freqs, TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res[1].Mag(vr); math.Abs(g-1) > 0.01 {
+		t.Fatalf("resonant transfer %v, want 1 (L and C cancel)", g)
+	}
+	if res[0].Mag(vr) > 0.6 || res[2].Mag(vr) > 0.6 {
+		t.Fatalf("off-resonance transfer not suppressed: %v / %v", res[0].Mag(vr), res[2].Mag(vr))
+	}
+}
+
+func TestACDiodeLinearization(t *testing.T) {
+	// A diode biased on through R from a DC source forms a small-signal
+	// divider R vs r_d = nVt/I. The AC transfer to the diode node must
+	// match r_d/(R+r_d).
+	c := New()
+	in, d := c.Node("in"), c.Node("d")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(5)))
+	mustOK(t, c.AddResistor("R1", in, d, 1000))
+	mustOK(t, c.AddDiode("D1", d, 0, SiliconSmallSignal()))
+	op, err := c.OperatingPoint(TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SiliconSmallSignal()
+	gd, _ := diodeCompanion(p, op.V[d])
+	rd := 1 / gd
+	want := rd / (1000 + rd)
+	res, err := c.ACAnalysis("V1", []float64{100}, TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].Mag(d); math.Abs(got-want) > 0.02*want {
+		t.Fatalf("diode-node AC transfer %v, want %v", got, want)
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(1)))
+	mustOK(t, c.AddResistor("R1", in, 0, 100))
+	if _, err := c.ACAnalysis("V1", nil, TransientConfig{}); err == nil {
+		t.Fatal("empty frequency list must be rejected")
+	}
+	if _, err := c.ACAnalysis("nope", []float64{100}, TransientConfig{}); err == nil {
+		t.Fatal("unknown source must be rejected")
+	}
+	if _, err := c.ACAnalysis("R1", []float64{100}, TransientConfig{}); err == nil {
+		t.Fatal("non-source element must be rejected")
+	}
+	if _, err := c.ACAnalysis("V1", []float64{-5}, TransientConfig{}); err == nil {
+		t.Fatal("negative frequency must be rejected")
+	}
+}
+
+func TestACSourceCurrentGivesImpedance(t *testing.T) {
+	// Input impedance seen by the source: Z = 1/|I_branch| for the unit
+	// stimulus. Pure R load: Z = R at any frequency.
+	c := New()
+	in := c.Node("in")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(0)))
+	mustOK(t, c.AddResistor("R1", in, 0, 470))
+	res, err := c.ACAnalysis("V1", []float64{123}, TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := 1 / cmplxAbs128(res[0].BranchI[0])
+	if math.Abs(z-470) > 0.5 {
+		t.Fatalf("input impedance %v, want 470", z)
+	}
+}
+
+func cmplxAbs128(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}

@@ -1,0 +1,27 @@
+package circuit
+
+import "testing"
+
+// BenchmarkTransientRectifier measures the Newton-Raphson MNA engine on a
+// half-wave rectifier: the per-step cost that motivates the fast engine.
+func BenchmarkTransientRectifier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New()
+		in, out := c.Node("in"), c.Node("out")
+		if err := c.AddVoltageSource("V1", in, 0, Sin(2, 100, 0, 0)); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AddDiode("D1", in, out, Schottky()); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AddCapacitor("C1", out, 0, 10e-6, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AddResistor("RL", out, 0, 1e4); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Transient(0.05, 1e-5, TransientConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOperatingPointDivider(t *testing.T) {
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(9)))
+	mustOK(t, c.AddResistor("R1", in, mid, 1000))
+	mustOK(t, c.AddResistor("R2", mid, 0, 2000))
+	op, err := c.OperatingPoint(TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.V[mid]; math.Abs(got-6) > 1e-6 {
+		t.Fatalf("v(mid) = %v, want 6", got)
+	}
+	// Source branch current: 9 V / 3 kΩ = 3 mA flowing out of the source.
+	if got := math.Abs(op.BranchI[0]); math.Abs(got-3e-3) > 1e-6 {
+		t.Fatalf("source current = %v, want 3 mA", got)
+	}
+}
+
+func TestOperatingPointDiodeDrop(t *testing.T) {
+	// 5 V through 1 kΩ into a silicon diode: classic load-line problem;
+	// the diode settles near 0.6–0.75 V.
+	c := New()
+	in, d := c.Node("in"), c.Node("d")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(5)))
+	mustOK(t, c.AddResistor("R1", in, d, 1000))
+	mustOK(t, c.AddDiode("D1", d, 0, SiliconSmallSignal()))
+	op, err := c.OperatingPoint(TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := op.V[d]
+	if vd < 0.5 || vd > 0.85 {
+		t.Fatalf("diode drop = %v, want ≈0.6–0.75", vd)
+	}
+	// KCL sanity: resistor current equals diode current.
+	ir := (5 - vd) / 1000
+	p := SiliconSmallSignal()
+	id := p.IS * (math.Exp(vd/(p.N*p.vt())) - 1)
+	if math.Abs(ir-id) > 1e-5 {
+		t.Fatalf("KCL violated: iR=%v iD=%v", ir, id)
+	}
+}
+
+func TestOperatingPointInductorShort(t *testing.T) {
+	// At DC an inductor is a short: the output node sits at the source
+	// voltage minus I·R with I set by the load.
+	c := New()
+	in, mid := c.Node("in"), c.Node("mid")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(2)))
+	mustOK(t, c.AddInductor("L1", in, mid, 1e-3, 0))
+	mustOK(t, c.AddResistor("R1", mid, 0, 100))
+	op, err := c.OperatingPoint(TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.V[mid]; math.Abs(got-2) > 1e-6 {
+		t.Fatalf("v(mid) = %v, want 2 (inductor shorted)", got)
+	}
+}
+
+func TestOperatingPointCapacitorOpen(t *testing.T) {
+	// Series capacitor blocks DC: output pulled to ground by the load.
+	c := New()
+	in, outN := c.Node("in"), c.Node("out")
+	mustOK(t, c.AddVoltageSource("V1", in, 0, DC(3)))
+	mustOK(t, c.AddCapacitor("C1", in, outN, 1e-6, 0))
+	mustOK(t, c.AddResistor("R1", outN, 0, 1e4))
+	op, err := c.OperatingPoint(TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Abs(op.V[outN]); got > 1e-3 {
+		t.Fatalf("v(out) = %v, want ≈0 (capacitor open at DC)", got)
+	}
+}
+
+func TestOperatingPointEmptyCircuit(t *testing.T) {
+	c := New()
+	op, err := c.OperatingPoint(TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op.BranchI) != 0 {
+		t.Fatal("empty circuit has no branches")
+	}
+}
+
+func TestOperatingPointOrphanNode(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	_ = c.Node("orphan")
+	mustOK(t, c.AddResistor("R1", a, 0, 100))
+	if _, err := c.OperatingPoint(TransientConfig{}); err == nil {
+		t.Fatal("orphan node must make the DC matrix singular")
+	}
+}

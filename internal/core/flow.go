@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/opt"
+)
+
+// RunDesignParallel simulates the design's runs across a worker pool —
+// DoE runs are embarrassingly parallel, so the "moderate number of
+// simulations" amortizes across cores. workers ≤ 0 uses GOMAXPROCS.
+func (p *Problem) RunDesignParallel(d *doe.Design, workers int) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("core: empty design")
+	}
+	if d.K() != len(p.Factors) {
+		return nil, fmt.Errorf("core: design has %d factors, problem has %d", d.K(), len(p.Factors))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.N() {
+		workers = d.N()
+	}
+	start := time.Now()
+	type rowResult struct {
+		idx  int
+		resp map[ResponseID]float64
+		err  error
+	}
+	jobs := make(chan int)
+	results := make(chan rowResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				resp, err := p.ResponsesAt(d.Runs[i])
+				results <- rowResult{idx: i, resp: resp, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < d.N(); i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	rows := make([]map[ResponseID]float64, d.N())
+	var firstErr error
+	for r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: run %d failed: %w", r.idx, r.err)
+		}
+		rows[r.idx] = r.resp
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	ds := &Dataset{Design: d, Y: make(map[ResponseID][]float64, len(p.Responses))}
+	for _, id := range p.Responses {
+		col := make([]float64, d.N())
+		for i, row := range rows {
+			col[i] = row[id]
+		}
+		ds.Y[id] = col
+	}
+	ds.SimTime = time.Since(start)
+	return ds, nil
+}
+
+// Subregion returns a refined copy of the problem whose factor ranges are
+// shrunk to a fraction (scale) of the original, centred on the coded point
+// centre and clamped to the original ranges — the sequential-RSM move
+// applied after a lack-of-fit alarm or around a promising optimum.
+func (p *Problem) Subregion(centre []float64, scale float64) (*Problem, error) {
+	if len(centre) != len(p.Factors) {
+		return nil, fmt.Errorf("core: centre has %d coordinates, problem has %d factors", len(centre), len(p.Factors))
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("core: subregion scale %g must be in (0, 1]", scale)
+	}
+	sub := *p
+	sub.Factors = make([]doe.Factor, len(p.Factors))
+	for i, f := range p.Factors {
+		mid := f.Decode(centre[i])
+		half := scale * (f.Max - f.Min) / 2
+		lo, hi := mid-half, mid+half
+		// Clamp to the original region, preserving the width when possible.
+		if lo < f.Min {
+			lo, hi = f.Min, math.Min(f.Min+2*half, f.Max)
+		}
+		if hi > f.Max {
+			hi, lo = f.Max, math.Max(f.Max-2*half, f.Min)
+		}
+		sub.Factors[i] = doe.Factor{Name: f.Name, Min: lo, Max: hi, Unit: f.Unit}
+	}
+	return &sub, nil
+}
+
+// DesirabilityGoal pairs a response with its desirability shape and an
+// optional weight (≤ 0 means 1).
+type DesirabilityGoal struct {
+	Response ResponseID
+	Shape    opt.Desirability
+	Weight   float64
+}
+
+// DesirabilityResult is a multi-response compromise design found on the
+// surfaces and confirmed by one simulation.
+type DesirabilityResult struct {
+	Coded     []float64
+	Natural   []float64
+	Score     float64                // composite desirability predicted on the surfaces
+	Confirmed float64                // composite desirability of the simulated responses
+	Predicted map[ResponseID]float64 // per-response surface predictions
+	Simulated map[ResponseID]float64 // per-response simulated values
+	Evals     int
+}
+
+// OptimizeDesirability finds the design maximizing the Derringer–Suich
+// composite desirability of several responses on the fitted surfaces
+// (multi-start Nelder–Mead), then confirms it with one simulation.
+func (s *Surfaces) OptimizeDesirability(goals []DesirabilityGoal, starts int, seed int64) (*DesirabilityResult, error) {
+	if len(goals) == 0 {
+		return nil, fmt.Errorf("core: need ≥1 desirability goal")
+	}
+	evals := make([]opt.Objective, len(goals))
+	shapes := make([]opt.Desirability, len(goals))
+	weights := make([]float64, len(goals))
+	for i, g := range goals {
+		fit, ok := s.Fits[g.Response]
+		if !ok {
+			return nil, fmt.Errorf("core: no surface for %q", g.Response)
+		}
+		evals[i] = fit.Predict
+		shapes[i] = g.Shape
+		weights[i] = g.Weight
+	}
+	comp, err := opt.NewComposite(evals, shapes, weights)
+	if err != nil {
+		return nil, err
+	}
+	if starts < 1 {
+		starts = 1
+	}
+	b := opt.NewBounds(len(s.Problem.Factors))
+	rng := rand.New(rand.NewSource(seed))
+	var best *opt.Result
+	totalEvals := 0
+	for i := 0; i < starts; i++ {
+		r, err := opt.NelderMead(comp.Objective(), b, b.Random(rng), opt.NelderMeadConfig{MaxIters: 400})
+		if err != nil {
+			return nil, err
+		}
+		totalEvals += r.Evals
+		if best == nil || r.F < best.F {
+			best = r
+		}
+	}
+
+	natural, err := doe.DecodeRun(s.Problem.Factors, best.X)
+	if err != nil {
+		return nil, err
+	}
+	res := &DesirabilityResult{
+		Coded:     best.X,
+		Natural:   natural,
+		Score:     comp.Score(best.X),
+		Predicted: make(map[ResponseID]float64, len(goals)),
+		Simulated: make(map[ResponseID]float64, len(goals)),
+		Evals:     totalEvals,
+	}
+	sim, err := s.Problem.ResponsesAt(best.X)
+	if err != nil {
+		return nil, err
+	}
+	// Confirmed composite: the same shapes applied to simulated values.
+	simEvals := make([]opt.Objective, len(goals))
+	for i, g := range goals {
+		res.Predicted[g.Response] = s.Fits[g.Response].Predict(best.X)
+		res.Simulated[g.Response] = sim[g.Response]
+		v := sim[g.Response]
+		simEvals[i] = func(x []float64) float64 { return v }
+	}
+	simComp, err := opt.NewComposite(simEvals, shapes, weights)
+	if err != nil {
+		return nil, err
+	}
+	res.Confirmed = simComp.Score(best.X)
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/doe"
+	"repro/internal/rsm"
+)
+
+// SavedSurfaces is the serializable form of a fitted surface set: enough
+// to reload the captured design space and keep exploring it without
+// re-running a single simulation. It records the factor ranges (so coded
+// and natural units stay interpretable), the polynomial basis, and the
+// coefficients and headline diagnostics per response.
+type SavedSurfaces struct {
+	// Paper identity, for provenance in saved files.
+	Toolkit string `json:"toolkit"`
+
+	Factors []doe.Factor `json:"factors"`
+	// Terms is the shared polynomial basis: one exponent vector per term.
+	Terms [][]int `json:"terms"`
+	// Coef holds the fitted coefficients per response, aligned with Terms.
+	Coef map[ResponseID][]float64 `json:"coef"`
+	// R2 and RMSE are the headline diagnostics captured at fit time.
+	R2   map[ResponseID]float64 `json:"r2"`
+	RMSE map[ResponseID]float64 `json:"rmse"`
+
+	// Provenance of the build.
+	DesignName string  `json:"design"`
+	Runs       int     `json:"runs"`
+	Horizon    float64 `json:"horizon_s"`
+
+	// The raw designed experiment (coded runs and simulated responses),
+	// kept so diagnostics — ANOVA, lack of fit, residual checks — can be
+	// recomputed offline without re-running a single simulation.
+	DesignRuns [][]float64              `json:"design_runs,omitempty"`
+	DataY      map[ResponseID][]float64 `json:"data_y,omitempty"`
+}
+
+// Save converts fitted surfaces into their serializable form. To embed
+// the raw experiment for offline diagnostics, use SaveWithData.
+func (s *Surfaces) Save(designName string, runs int) *SavedSurfaces {
+	out := &SavedSurfaces{
+		Toolkit:    "ehdoe (DoE-based sensor-node design flow, DATE 2013 reproduction)",
+		Factors:    append([]doe.Factor(nil), s.Problem.Factors...),
+		Coef:       make(map[ResponseID][]float64, len(s.Fits)),
+		R2:         make(map[ResponseID]float64, len(s.Fits)),
+		RMSE:       make(map[ResponseID]float64, len(s.Fits)),
+		DesignName: designName,
+		Runs:       runs,
+		Horizon:    s.Problem.Horizon,
+	}
+	for _, t := range s.Model.Terms {
+		out.Terms = append(out.Terms, append([]int(nil), t.Powers...))
+	}
+	for id, fit := range s.Fits {
+		out.Coef[id] = append([]float64(nil), fit.Coef...)
+		out.R2[id] = fit.R2
+		out.RMSE[id] = fit.RMSE
+	}
+	return out
+}
+
+// SaveWithData is Save plus the raw designed experiment, enabling offline
+// ANOVA and lack-of-fit via Refit.
+func (s *Surfaces) SaveWithData(ds *Dataset) *SavedSurfaces {
+	out := s.Save(ds.Design.Name, ds.Design.N())
+	out.DesignRuns = make([][]float64, ds.Design.N())
+	for i, r := range ds.Design.Runs {
+		out.DesignRuns[i] = append([]float64(nil), r...)
+	}
+	out.DataY = make(map[ResponseID][]float64, len(ds.Y))
+	for id, y := range ds.Y {
+		out.DataY[id] = append([]float64(nil), y...)
+	}
+	return out
+}
+
+// HasData reports whether the file embeds the raw experiment.
+func (ss *SavedSurfaces) HasData() bool {
+	return len(ss.DesignRuns) > 0 && len(ss.DataY) > 0
+}
+
+// Refit rebuilds the live rsm.Fit of one response from the embedded data
+// (for diagnostics that need more than coefficients: ANOVA, lack of fit,
+// studentized residuals).
+func (ss *SavedSurfaces) Refit(id ResponseID) (*rsm.Fit, error) {
+	if !ss.HasData() {
+		return nil, fmt.Errorf("core: saved surfaces carry no raw data (rebuild with SaveWithData)")
+	}
+	y, ok := ss.DataY[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no data for response %q", id)
+	}
+	return rsm.FitModel(ss.Model(), ss.DesignRuns, y)
+}
+
+// MarshalJSON is provided by the standard library via struct tags; Encode
+// renders the saved surfaces as indented JSON.
+func (ss *SavedSurfaces) Encode() ([]byte, error) {
+	return json.MarshalIndent(ss, "", "  ")
+}
+
+// DecodeSurfaces parses a saved-surfaces JSON document.
+func DecodeSurfaces(data []byte) (*SavedSurfaces, error) {
+	var ss SavedSurfaces
+	if err := json.Unmarshal(data, &ss); err != nil {
+		return nil, fmt.Errorf("core: decoding saved surfaces: %w", err)
+	}
+	if err := ss.validate(); err != nil {
+		return nil, err
+	}
+	return &ss, nil
+}
+
+func (ss *SavedSurfaces) validate() error {
+	if len(ss.Factors) == 0 {
+		return fmt.Errorf("core: saved surfaces have no factors")
+	}
+	for _, f := range ss.Factors {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(ss.Terms) == 0 {
+		return fmt.Errorf("core: saved surfaces have no model terms")
+	}
+	k := len(ss.Factors)
+	for i, t := range ss.Terms {
+		if len(t) != k {
+			return fmt.Errorf("core: term %d has %d powers, want %d", i, len(t), k)
+		}
+	}
+	if len(ss.Coef) == 0 {
+		return fmt.Errorf("core: saved surfaces have no coefficients")
+	}
+	for id, c := range ss.Coef {
+		if len(c) != len(ss.Terms) {
+			return fmt.Errorf("core: response %q has %d coefficients for %d terms", id, len(c), len(ss.Terms))
+		}
+	}
+	return nil
+}
+
+// Model reconstructs the rsm.Model of the saved basis.
+func (ss *SavedSurfaces) Model() rsm.Model {
+	m := rsm.Model{K: len(ss.Factors)}
+	for _, powers := range ss.Terms {
+		m.Terms = append(m.Terms, rsm.Term{Powers: append([]int(nil), powers...)})
+	}
+	return m
+}
+
+// Responses lists the response ids present in the file, sorted by name.
+func (ss *SavedSurfaces) Responses() []ResponseID {
+	out := make([]ResponseID, 0, len(ss.Coef))
+	for id := range ss.Coef {
+		out = append(out, id)
+	}
+	sortResponseIDs(out)
+	return out
+}
+
+func sortResponseIDs(ids []ResponseID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Predict evaluates a saved surface at a coded point.
+func (ss *SavedSurfaces) Predict(id ResponseID, coded []float64) (float64, error) {
+	coef, ok := ss.Coef[id]
+	if !ok {
+		return 0, fmt.Errorf("core: saved surfaces lack response %q", id)
+	}
+	if len(coded) != len(ss.Factors) {
+		return 0, fmt.Errorf("core: point has %d coordinates, model wants %d", len(coded), len(ss.Factors))
+	}
+	m := ss.Model()
+	row := m.Row(coded)
+	var v float64
+	for i, c := range coef {
+		v += c * row[i]
+	}
+	return v, nil
+}
+
+// PredictNatural evaluates a saved surface at a point in natural units.
+func (ss *SavedSurfaces) PredictNatural(id ResponseID, natural []float64) (float64, error) {
+	if len(natural) != len(ss.Factors) {
+		return 0, fmt.Errorf("core: point has %d coordinates, model wants %d", len(natural), len(ss.Factors))
+	}
+	coded := make([]float64, len(natural))
+	for i, f := range ss.Factors {
+		coded[i] = f.Encode(natural[i])
+	}
+	return ss.Predict(id, coded)
+}

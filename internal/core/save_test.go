@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/doe"
+	"repro/internal/rsm"
+)
+
+func buildTestSurfaces(t *testing.T) (*Problem, *Surfaces) {
+	t.Helper()
+	p := quickProblem()
+	design, err := doe.CentralComposite(3, doe.CCF, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := p.RunDesign(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.BuildSurfaces(ds, rsm.FullQuadratic(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestSaveRoundTrip(t *testing.T) {
+	_, s := buildTestSurfaces(t)
+	saved := s.Save("CCF", 17)
+	data, err := saved.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "stored_energy_J") {
+		t.Fatal("JSON missing response id")
+	}
+	back, err := DecodeSurfaces(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DesignName != "CCF" || back.Runs != 17 {
+		t.Fatalf("provenance lost: %+v", back)
+	}
+	// Predictions must match the live fit exactly.
+	pt := []float64{0.3, -0.4, 0.7}
+	for id, fit := range s.Fits {
+		want := fit.Predict(pt)
+		got, err := back.Predict(id, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("%s: saved %v vs live %v", id, got, want)
+		}
+	}
+}
+
+func TestSavedPredictNatural(t *testing.T) {
+	_, s := buildTestSurfaces(t)
+	saved := s.Save("CCF", 17)
+	// Natural at factor centres must equal coded origin.
+	nat := make([]float64, len(saved.Factors))
+	for i, f := range saved.Factors {
+		nat[i] = (f.Min + f.Max) / 2
+	}
+	a, err := saved.PredictNatural(RespStoredEnergy, nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := saved.Predict(RespStoredEnergy, make([]float64, len(saved.Factors)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("natural/coded mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestSavedValidation(t *testing.T) {
+	if _, err := DecodeSurfaces([]byte("{")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+	if _, err := DecodeSurfaces([]byte(`{"factors":[],"terms":[[0]],"coef":{"x":[1]}}`)); err == nil {
+		t.Fatal("no factors must error")
+	}
+	if _, err := DecodeSurfaces([]byte(`{"factors":[{"Name":"a","Min":0,"Max":1}],"terms":[[0,0]],"coef":{"x":[1]}}`)); err == nil {
+		t.Fatal("term width mismatch must error")
+	}
+	if _, err := DecodeSurfaces([]byte(`{"factors":[{"Name":"a","Min":0,"Max":1}],"terms":[[0]],"coef":{"x":[1,2]}}`)); err == nil {
+		t.Fatal("coefficient count mismatch must error")
+	}
+	if _, err := DecodeSurfaces([]byte(`{"factors":[{"Name":"a","Min":0,"Max":1}],"terms":[[0]],"coef":{}}`)); err == nil {
+		t.Fatal("no coefficients must error")
+	}
+}
+
+func TestSavedErrors(t *testing.T) {
+	_, s := buildTestSurfaces(t)
+	saved := s.Save("CCF", 17)
+	if _, err := saved.Predict(ResponseID("nope"), []float64{0, 0, 0}); err == nil {
+		t.Fatal("unknown response must error")
+	}
+	if _, err := saved.Predict(RespPackets, []float64{0}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := saved.PredictNatural(RespPackets, []float64{0}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestSavedResponsesSorted(t *testing.T) {
+	_, s := buildTestSurfaces(t)
+	saved := s.Save("CCF", 17)
+	ids := saved.Responses()
+	if len(ids) != len(s.Fits) {
+		t.Fatalf("responses = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatal("responses not sorted")
+		}
+	}
+}
+
+func TestSaveWithDataRefit(t *testing.T) {
+	p := quickProblem()
+	design, err := doe.CentralComposite(3, doe.CCF, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := p.RunDesign(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.BuildSurfaces(ds, rsm.FullQuadratic(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := s.SaveWithData(ds)
+	if !saved.HasData() {
+		t.Fatal("data not embedded")
+	}
+	data, err := saved.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSurfaces(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasData() {
+		t.Fatal("data lost in round trip")
+	}
+	fit, err := back.Refit(RespStoredEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refit coefficients must match the originals.
+	orig := s.Fits[RespStoredEnergy].Coef
+	for i := range orig {
+		if math.Abs(fit.Coef[i]-orig[i]) > 1e-9*(1+math.Abs(orig[i])) {
+			t.Fatalf("coefficient %d drifted: %v vs %v", i, fit.Coef[i], orig[i])
+		}
+	}
+	// Refit errors.
+	if _, err := back.Refit(ResponseID("nope")); err == nil {
+		t.Fatal("unknown response must error")
+	}
+	plain := s.Save("CCF", design.N())
+	if plain.HasData() {
+		t.Fatal("plain save must not embed data")
+	}
+	if _, err := plain.Refit(RespStoredEnergy); err == nil {
+		t.Fatal("refit without data must error")
+	}
+}

@@ -1,0 +1,148 @@
+package doe
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// AliasStructure describes the confounding of a regular two-level
+// fractional factorial: the defining contrast subgroup, the design
+// resolution (Roman-numeral convention: the length of the shortest
+// defining word), and alias chains for low-order effects. Screening with
+// a resolution-III design confounds main effects with two-factor
+// interactions; resolution V and above leaves main effects and two-factor
+// interactions clean — the standard vocabulary for choosing how many
+// harvester/node parameters can share a small simulation budget.
+type AliasStructure struct {
+	K          int      // total factors
+	Words      []uint64 // defining contrast subgroup (excluding identity), as factor bitmasks
+	Resolution int      // min word length; 0 for a full factorial (no words)
+}
+
+// AliasStructureOf computes the structure for a design built like
+// FractionalFactorial(base, generators): base independent factors plus one
+// generated factor per generator string ("E=ABCD" style, letters indexing
+// the base factors).
+func AliasStructureOf(base int, generators []string) (*AliasStructure, error) {
+	if base < 2 || base > 60 {
+		return nil, fmt.Errorf("doe: base factor count %d out of range", base)
+	}
+	k := base + len(generators)
+	// Each generator contributes one defining word: the generated column
+	// times its parents.
+	defs := make([]uint64, 0, len(generators))
+	for gi, g := range generators {
+		parts := strings.SplitN(strings.ReplaceAll(g, " ", ""), "=", 2)
+		if len(parts) != 2 || len(parts[1]) == 0 {
+			return nil, fmt.Errorf("doe: bad generator %q", g)
+		}
+		var w uint64
+		for _, ch := range strings.ToUpper(parts[1]) {
+			idx := int(ch - 'A')
+			if idx < 0 || idx >= base {
+				return nil, fmt.Errorf("doe: generator %q references factor %c outside the %d base factors", g, ch, base)
+			}
+			w ^= 1 << uint(idx)
+		}
+		w ^= 1 << uint(base+gi) // the generated factor itself
+		defs = append(defs, w)
+	}
+	// Defining contrast subgroup: all non-empty XOR combinations.
+	var words []uint64
+	for mask := 1; mask < 1<<uint(len(defs)); mask++ {
+		var w uint64
+		for i, d := range defs {
+			if mask&(1<<uint(i)) != 0 {
+				w ^= d
+			}
+		}
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		li, lj := bits.OnesCount64(words[i]), bits.OnesCount64(words[j])
+		if li != lj {
+			return li < lj
+		}
+		return words[i] < words[j]
+	})
+	res := 0
+	if len(words) > 0 {
+		res = bits.OnesCount64(words[0])
+	}
+	return &AliasStructure{K: k, Words: words, Resolution: res}, nil
+}
+
+// effectName renders a factor bitmask as letters (A, B, …).
+func effectName(w uint64, k int) string {
+	if w == 0 {
+		return "I"
+	}
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		if w&(1<<uint(i)) != 0 {
+			b.WriteByte(byte('A' + i))
+		}
+	}
+	return b.String()
+}
+
+// DefiningRelation renders the defining contrast subgroup, e.g.
+// "I = ABCDE".
+func (a *AliasStructure) DefiningRelation() string {
+	if len(a.Words) == 0 {
+		return "I (full factorial)"
+	}
+	parts := make([]string, 0, len(a.Words)+1)
+	parts = append(parts, "I")
+	for _, w := range a.Words {
+		parts = append(parts, effectName(w, a.K))
+	}
+	return strings.Join(parts, " = ")
+}
+
+// AliasesOf returns the effects confounded with the given effect (a
+// bitmask over the k factors), sorted by interaction order. The queried
+// effect itself is not included.
+func (a *AliasStructure) AliasesOf(effect uint64) []uint64 {
+	out := make([]uint64, 0, len(a.Words))
+	for _, w := range a.Words {
+		out = append(out, effect^w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := bits.OnesCount64(out[i]), bits.OnesCount64(out[j])
+		if li != lj {
+			return li < lj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// MainEffectChains renders the alias chain of every main effect up to
+// maxOrder interaction terms, e.g. "A = BCE = DEF".
+func (a *AliasStructure) MainEffectChains(maxOrder int) []string {
+	if maxOrder <= 0 {
+		maxOrder = 3
+	}
+	out := make([]string, 0, a.K)
+	for i := 0; i < a.K; i++ {
+		effect := uint64(1) << uint(i)
+		parts := []string{effectName(effect, a.K)}
+		for _, al := range a.AliasesOf(effect) {
+			if bits.OnesCount64(al) <= maxOrder {
+				parts = append(parts, effectName(al, a.K))
+			}
+		}
+		out = append(out, strings.Join(parts, " = "))
+	}
+	return out
+}
+
+// CleanTwoFactorInteractions reports whether no two-factor interaction is
+// aliased with a main effect or another two-factor interaction
+// (equivalent to resolution ≥ V).
+func (a *AliasStructure) CleanTwoFactorInteractions() bool {
+	return a.Resolution >= 5 || len(a.Words) == 0
+}

@@ -1,0 +1,132 @@
+package doe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAliasStructure2to5minus1(t *testing.T) {
+	// 2^(5-1) with E=ABCD: defining relation I=ABCDE, resolution V.
+	a, err := AliasStructureOf(4, []string{"E=ABCD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resolution != 5 {
+		t.Fatalf("resolution = %d, want 5", a.Resolution)
+	}
+	if got := a.DefiningRelation(); got != "I = ABCDE" {
+		t.Fatalf("defining relation %q", got)
+	}
+	if !a.CleanTwoFactorInteractions() {
+		t.Fatal("resolution-V design must have clean 2FIs")
+	}
+	// Alias of A is BCDE (4th order).
+	al := a.AliasesOf(1)
+	if len(al) != 1 || effectName(al[0], a.K) != "BCDE" {
+		t.Fatalf("aliases of A: %v", al)
+	}
+}
+
+func TestAliasStructure2to4minus1ResIV(t *testing.T) {
+	// 2^(4-1) with D=ABC: I=ABCD, resolution IV; 2FIs alias in pairs.
+	a, err := AliasStructureOf(3, []string{"D=ABC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resolution != 4 {
+		t.Fatalf("resolution = %d, want 4", a.Resolution)
+	}
+	if a.CleanTwoFactorInteractions() {
+		t.Fatal("resolution IV aliases 2FIs with each other")
+	}
+	// AB aliases with CD.
+	ab := uint64(0b0011)
+	al := a.AliasesOf(ab)
+	if effectName(al[0], a.K) != "CD" {
+		t.Fatalf("alias of AB = %q, want CD", effectName(al[0], a.K))
+	}
+}
+
+func TestAliasStructureResIIIScreening(t *testing.T) {
+	// 2^(5-2) with D=AB, E=AC: resolution III; main effects alias 2FIs.
+	a, err := AliasStructureOf(3, []string{"D=AB", "E=AC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resolution != 3 {
+		t.Fatalf("resolution = %d, want 3", a.Resolution)
+	}
+	if len(a.Words) != 3 { // ABD, ACE, BCDE
+		t.Fatalf("subgroup size = %d, want 3", len(a.Words))
+	}
+	chains := a.MainEffectChains(2)
+	// A must be aliased with BD and CE at order ≤2.
+	if !strings.Contains(chains[0], "BD") || !strings.Contains(chains[0], "CE") {
+		t.Fatalf("chain for A: %q", chains[0])
+	}
+}
+
+func TestAliasStructureMatchesDesignColumns(t *testing.T) {
+	// The computed defining words must hold numerically on the generated
+	// design: the product of the columns in every defining word is +1 in
+	// every run.
+	gens := []string{"E=ABC", "F=BCD"}
+	a, err := AliasStructureOf(4, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FractionalFactorial(4, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range a.Words {
+		for _, run := range d.Runs {
+			prod := 1.0
+			for j := 0; j < a.K; j++ {
+				if w&(1<<uint(j)) != 0 {
+					prod *= run[j]
+				}
+			}
+			if prod != 1 {
+				t.Fatalf("defining word %s violated in run %v", effectName(w, a.K), run)
+			}
+		}
+	}
+}
+
+func TestAliasStructureValidation(t *testing.T) {
+	if _, err := AliasStructureOf(1, nil); err == nil {
+		t.Fatal("base=1 must be rejected")
+	}
+	if _, err := AliasStructureOf(3, []string{"nope"}); err == nil {
+		t.Fatal("malformed generator must be rejected")
+	}
+	if _, err := AliasStructureOf(3, []string{"D=AZ"}); err == nil {
+		t.Fatal("out-of-range letter must be rejected")
+	}
+}
+
+func TestAliasStructureFullFactorial(t *testing.T) {
+	a, err := AliasStructureOf(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resolution != 0 || len(a.Words) != 0 {
+		t.Fatalf("full factorial has no defining words: %+v", a)
+	}
+	if !strings.Contains(a.DefiningRelation(), "full factorial") {
+		t.Fatal("defining relation rendering wrong")
+	}
+	if !a.CleanTwoFactorInteractions() {
+		t.Fatal("full factorial is clean")
+	}
+}
+
+func TestEffectName(t *testing.T) {
+	if effectName(0, 4) != "I" {
+		t.Fatal("identity name wrong")
+	}
+	if effectName(0b1011, 4) != "ABD" {
+		t.Fatalf("name = %q", effectName(0b1011, 4))
+	}
+}

@@ -1,0 +1,44 @@
+package doe
+
+import "fmt"
+
+// Foldover returns the design augmented with its full foldover: every run
+// repeated with all factor signs flipped. Folding a resolution-III
+// screening design over de-aliases main effects from two-factor
+// interactions (resolution IV) at the cost of doubling the run count —
+// the standard sequential-experimentation move after an ambiguous screen.
+func Foldover(d *Design) (*Design, error) {
+	if d.N() == 0 {
+		return nil, fmt.Errorf("doe: cannot fold an empty design")
+	}
+	runs := make([][]float64, 0, 2*d.N())
+	runs = append(runs, cloneRuns(d.Runs)...)
+	for _, r := range d.Runs {
+		neg := make([]float64, len(r))
+		for j, v := range r {
+			neg[j] = -v
+		}
+		runs = append(runs, neg)
+	}
+	return &Design{Name: d.Name + "+foldover", Runs: runs}, nil
+}
+
+// SemiFoldover returns the design augmented with its foldover on a single
+// factor: the extra runs flip only column j. It de-aliases the chosen
+// factor's interactions with half the cost of a full foldover.
+func SemiFoldover(d *Design, j int) (*Design, error) {
+	if d.N() == 0 {
+		return nil, fmt.Errorf("doe: cannot fold an empty design")
+	}
+	if j < 0 || j >= d.K() {
+		return nil, fmt.Errorf("doe: fold factor %d outside 0..%d", j, d.K()-1)
+	}
+	runs := make([][]float64, 0, 2*d.N())
+	runs = append(runs, cloneRuns(d.Runs)...)
+	for _, r := range d.Runs {
+		neg := append([]float64(nil), r...)
+		neg[j] = -neg[j]
+		runs = append(runs, neg)
+	}
+	return &Design{Name: fmt.Sprintf("%s+fold(%d)", d.Name, j), Runs: runs}, nil
+}

@@ -1,0 +1,97 @@
+package doe
+
+import "testing"
+
+// columnDot returns the dot product of the elementwise product of columns
+// cols with column single, over all runs — zero means orthogonality of the
+// interaction contrast with the main effect.
+func columnDot(d *Design, cols []int, single int) float64 {
+	var s float64
+	for _, r := range d.Runs {
+		v := 1.0
+		for _, c := range cols {
+			v *= r[c]
+		}
+		s += v * r[single]
+	}
+	return s
+}
+
+func TestFoldoverDeAliasesResolutionIII(t *testing.T) {
+	// 2^(3-1) with C=AB is resolution III: column C equals the AB
+	// interaction exactly (perfect aliasing).
+	base, err := FractionalFactorial(2, []string{"C=AB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := columnDot(base, []int{0, 1}, 2); got != float64(base.N()) {
+		t.Fatalf("expected perfect aliasing in the base design, dot = %v", got)
+	}
+	folded, err := Foldover(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.N() != 2*base.N() {
+		t.Fatalf("folded runs = %d", folded.N())
+	}
+	// After folding, AB is orthogonal to C: main effects are clean.
+	if got := columnDot(folded, []int{0, 1}, 2); got != 0 {
+		t.Fatalf("foldover failed to de-alias: dot = %v", got)
+	}
+	// All main-effect columns stay balanced.
+	for j := 0; j < folded.K(); j++ {
+		var s float64
+		for _, r := range folded.Runs {
+			s += r[j]
+		}
+		if s != 0 {
+			t.Fatalf("column %d unbalanced after foldover", j)
+		}
+	}
+}
+
+func TestFoldoverEmpty(t *testing.T) {
+	if _, err := Foldover(&Design{}); err == nil {
+		t.Fatal("empty design must be rejected")
+	}
+	if _, err := SemiFoldover(&Design{}, 0); err == nil {
+		t.Fatal("empty design must be rejected")
+	}
+}
+
+func TestSemiFoldover(t *testing.T) {
+	base, err := FractionalFactorial(2, []string{"C=AB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := SemiFoldover(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.N() != 2*base.N() {
+		t.Fatalf("folded runs = %d", folded.N())
+	}
+	// Folding on A de-aliases AB from C.
+	if got := columnDot(folded, []int{0, 1}, 2); got != 0 {
+		t.Fatalf("semifold failed: dot = %v", got)
+	}
+	// Columns other than the folded one are duplicated, so B stays
+	// balanced while its pairing with the original runs is preserved.
+	for _, r := range folded.Runs[:base.N()] {
+		if len(r) != 3 {
+			t.Fatal("width changed")
+		}
+	}
+	if _, err := SemiFoldover(base, 9); err == nil {
+		t.Fatal("bad factor index must be rejected")
+	}
+}
+
+func TestFoldoverDoesNotMutateSource(t *testing.T) {
+	base, _ := TwoLevelFactorial(2)
+	folded, _ := Foldover(base)
+	folded.Runs[0][0] = 99
+	if base.Runs[0][0] == 99 {
+		t.Fatal("foldover must deep-copy")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+	"repro/internal/vibration"
+)
+
+// TabA6Estimators is ablation A6: the tuning controller's frequency
+// estimator compared in closed loop — the cheap zero-crossing counter
+// against the Goertzel filter bank — under a clean off-resonance tone and
+// under the same tone buried in band-limited noise. The metric that
+// matters for energy management is what the system harvests and where the
+// resonance ends up, not raw estimator error.
+func TabA6Estimators(cfg Config) (*report.Table, error) {
+	horizon := cfg.horizon(40, 120)
+	base := sim.DefaultDesign()
+	lo, hi := base.Harv.FreqRange()
+
+	mkSource := func(noise float64) (vibration.Source, error) {
+		tone := vibration.Sine{Amplitude: 0.6, Freq: 64}
+		if noise <= 0 {
+			return tone, nil
+		}
+		return vibration.NewNoisySine(tone, noise, horizon, 1e-3, cfg.Seed+60)
+	}
+
+	run := func(name string, noise float64, estimator func() (tuner.Estimator, error)) ([]interface{}, error) {
+		src, err := mkSource(noise)
+		if err != nil {
+			return nil, err
+		}
+		tc := tuner.DefaultConfig()
+		tc.Interval = 5
+		tc.ActuatorSpeed = 1e-3
+		if estimator != nil {
+			est, err := estimator()
+			if err != nil {
+				return nil, err
+			}
+			tc.Estimator = est
+		}
+		d := base
+		d.Tuner = &tc
+		r, err := sim.RunFast(d, sim.Config{Horizon: horizon, Source: src})
+		if err != nil {
+			return nil, err
+		}
+		return []interface{}{
+			name,
+			r.HarvestedEnergy * 1e3,
+			r.TuneEnergy * 1e3,
+			r.TuneInBandFrac,
+			r.FinalResFreq,
+			r.TuneMoves,
+		}, nil
+	}
+
+	goertzel := func() (tuner.Estimator, error) {
+		return tuner.NewGoertzelEstimator(lo-2, hi+2, 64, 1.0)
+	}
+	t := report.NewTable("A6: tuning-controller frequency estimators in closed loop",
+		"estimator / excitation", "harvested_mJ", "tune_cost_mJ", "in_band_frac", "final_res_Hz", "moves")
+	cases := []struct {
+		name  string
+		noise float64
+		est   func() (tuner.Estimator, error)
+	}{
+		{"zero-crossing / clean 64 Hz", 0, nil},
+		{"Goertzel bank / clean 64 Hz", 0, goertzel},
+		{"zero-crossing / +0.25 m/s² noise", 0.25, nil},
+		{"Goertzel bank / +0.25 m/s² noise", 0.25, goertzel},
+	}
+	for _, c := range cases {
+		row, err := run(c.name, c.noise, c.est)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("tone 64 Hz at 0.6 m/s², untuned resonance 45 Hz, horizon %.0f s", horizon)
+	t.AddNote("finding: broadband noise excites the CURRENT resonance, which then dominates the EMF")
+	t.AddNote("spectrum; the spectrally honest Goertzel bank therefore re-tunes later (or, at lower SNR,")
+	t.AddNote("locks onto its own resonance indefinitely) and harvests less, while the zero-crossing")
+	t.AddNote("counter's noise-inflated counts accidentally escape — real devices avoid the trap with a")
+	t.AddNote("separate broadband accelerometer or periodic exploratory sweeps")
+	return t, nil
+}

@@ -1,0 +1,47 @@
+// Package experiments implements the reproduction suite indexed in
+// DESIGN.md §5: one generator per reconstructed table (R-T1…R-T7) and
+// figure (R-F1…R-F5), plus the ablations of §6. Each generator runs the
+// real pipeline (simulators, DoE, RSM, optimizers) and renders its result
+// as a report.Table or report.Figure; cmd/experiments prints them all and
+// the root bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vibration"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Quick shrinks horizons and budgets for benchmarks and CI; the full
+	// configuration is what cmd/experiments publishes in EXPERIMENTS.md.
+	Quick bool
+	// Seed makes every randomized stage reproducible.
+	Seed int64
+}
+
+// horizon picks between the quick and full simulated duration.
+func (c Config) horizon(quick, full float64) float64 {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// pick chooses an integer budget.
+func (c Config) pick(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// ms renders a duration in milliseconds for tables.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// resonantSine returns a sine at the design's untuned resonance.
+func resonantSine(d sim.Design, amplitude, offset float64) vibration.Source {
+	return vibration.Sine{Amplitude: amplitude, Freq: d.Harv.ResonantFreq(d.Harv.GapMax) + offset}
+}

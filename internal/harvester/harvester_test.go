@@ -1,0 +1,326 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ode"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mut := []func(*Params){
+		func(p *Params) { p.Mass = 0 },
+		func(p *Params) { p.SpringK = -1 },
+		func(p *Params) { p.DampingC = -0.1 },
+		func(p *Params) { p.Gamma = -1 },
+		func(p *Params) { p.CoilR = 0 },
+		func(p *Params) { p.CoilL = -1 },
+		func(p *Params) { p.MaxDisp = 0 },
+		func(p *Params) { p.StopK = -1 },
+		func(p *Params) { p.TuneKMax = -1 },
+		func(p *Params) { p.GapMin = 0 },
+		func(p *Params) { p.GapMax = 1e-4 }, // below GapMin
+		func(p *Params) { p.GapExp = 0 },
+	}
+	for i, m := range mut {
+		p := Default()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestTuneStiffnessEndpoints(t *testing.T) {
+	p := Default()
+	if got := p.TuneStiffness(p.GapMax); math.Abs(got) > 1e-9 {
+		t.Fatalf("k_t(GapMax) = %v, want 0", got)
+	}
+	if got := p.TuneStiffness(p.GapMin); math.Abs(got-p.TuneKMax) > 1e-6*p.TuneKMax {
+		t.Fatalf("k_t(GapMin) = %v, want %v", got, p.TuneKMax)
+	}
+	// Clamping outside the travel.
+	if p.TuneStiffness(0.5*p.GapMin) != p.TuneStiffness(p.GapMin) {
+		t.Fatal("gap below GapMin must clamp")
+	}
+	if p.TuneStiffness(2*p.GapMax) != 0 {
+		t.Fatal("gap above GapMax must clamp to zero stiffness")
+	}
+}
+
+func TestTuneStiffnessMonotone(t *testing.T) {
+	p := Default()
+	prev := math.Inf(1)
+	for g := p.GapMin; g <= p.GapMax; g += (p.GapMax - p.GapMin) / 50 {
+		kt := p.TuneStiffness(g)
+		if kt > prev+1e-9 {
+			t.Fatalf("k_t not monotone decreasing at gap %v", g)
+		}
+		prev = kt
+	}
+}
+
+func TestFreqRange(t *testing.T) {
+	p := Default()
+	lo, hi := p.FreqRange()
+	if math.Abs(lo-45) > 0.5 {
+		t.Fatalf("f_lo = %v, want ≈45", lo)
+	}
+	if math.Abs(hi-90) > 1 {
+		t.Fatalf("f_hi = %v, want ≈90", hi)
+	}
+}
+
+func TestGapForFreqRoundTrip(t *testing.T) {
+	p := Default()
+	lo, hi := p.FreqRange()
+	for f := lo + 1; f < hi; f += 5 {
+		gap, ok := p.GapForFreq(f)
+		if !ok {
+			t.Fatalf("f=%v should be achievable", f)
+		}
+		if got := p.ResonantFreq(gap); math.Abs(got-f) > 1e-6 {
+			t.Fatalf("ResonantFreq(GapForFreq(%v)) = %v", f, got)
+		}
+	}
+	// Outside the band: clamped, not ok.
+	if gap, ok := p.GapForFreq(lo - 10); ok || gap != p.GapMax {
+		t.Fatalf("below band: gap=%v ok=%v", gap, ok)
+	}
+	if gap, ok := p.GapForFreq(hi + 10); ok || gap != p.GapMin {
+		t.Fatalf("above band: gap=%v ok=%v", gap, ok)
+	}
+}
+
+func TestGapForFreqPropertyMonotone(t *testing.T) {
+	p := Default()
+	lo, hi := p.FreqRange()
+	f := func(u float64) bool {
+		frac := math.Mod(math.Abs(u), 1)
+		f1 := lo + frac*(hi-lo)*0.98 + 0.01*(hi-lo)
+		gap, _ := p.GapForFreq(f1)
+		// Higher target frequency needs a smaller gap.
+		gap2, _ := p.GapForFreq(math.Min(f1+1, hi))
+		return gap2 <= gap+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopForce(t *testing.T) {
+	p := Default()
+	if p.StopForce(0) != 0 || p.StopForce(p.MaxDisp) != 0 {
+		t.Fatal("no force inside travel")
+	}
+	over := p.MaxDisp + 1e-4
+	if got := p.StopForce(over); math.Abs(got-p.StopK*1e-4) > 1e-9 {
+		t.Fatalf("stop force = %v", got)
+	}
+	if got := p.StopForce(-over); math.Abs(got+p.StopK*1e-4) > 1e-9 {
+		t.Fatalf("stop force (neg) = %v", got)
+	}
+}
+
+func TestSteadyStatePowerPeaksAtResonance(t *testing.T) {
+	p := Default()
+	gap := p.GapMax
+	f0 := p.ResonantFreq(gap)
+	rload := 5000.0
+	pRes := p.SteadyStatePower(0.6, f0, rload, gap)
+	if pRes <= 0 {
+		t.Fatalf("resonant power = %v", pRes)
+	}
+	for _, off := range []float64{-10, -5, 5, 10} {
+		if pOff := p.SteadyStatePower(0.6, f0+off, rload, gap); pOff >= pRes {
+			t.Fatalf("power at %+v Hz offset (%v) ≥ resonant (%v)", off, pOff, pRes)
+		}
+	}
+}
+
+func TestSteadyStatePowerMicrowattScale(t *testing.T) {
+	// The reference device delivers on the order of 100 µW at 0.6 m/s².
+	p := Default()
+	gap := p.GapMax
+	pw := p.SteadyStatePower(0.6, p.ResonantFreq(gap), p.OptimalLoad()-p.CoilR, gap)
+	if pw < 10e-6 || pw > 10e-3 {
+		t.Fatalf("resonant power %v W outside the plausible µW–mW band", pw)
+	}
+}
+
+func TestOptimalLoadMaximizesPower(t *testing.T) {
+	p := Default()
+	gap := p.GapMax
+	f0 := p.ResonantFreq(gap)
+	// Sweep loads around the matched value; power must peak near it.
+	// Note OptimalLoad returns R_c + Γ²/c; the load connected externally is
+	// compared directly on the power curve.
+	best, bestR := 0.0, 0.0
+	for r := 500.0; r < 1e6; r *= 1.3 {
+		if pw := p.SteadyStatePower(0.6, f0, r, gap); pw > best {
+			best, bestR = pw, r
+		}
+	}
+	want := p.OptimalLoad()
+	if bestR < want/3 || bestR > want*3 {
+		t.Fatalf("empirical optimum %v too far from analytic %v", bestR, want)
+	}
+}
+
+func TestElectricalDampingAndEMF(t *testing.T) {
+	p := Default()
+	ce := p.ElectricalDamping(1000)
+	want := p.Gamma * p.Gamma / (p.CoilR + 1000)
+	if math.Abs(ce-want) > 1e-12 {
+		t.Fatalf("c_e = %v, want %v", ce, want)
+	}
+	if p.EMF(0.1) != p.Gamma*0.1 {
+		t.Fatal("EMF wrong")
+	}
+	if got := p.AlgebraicCurrent(0.1, 1000); math.Abs(got-p.Gamma*0.1/(p.CoilR+1000)) > 1e-15 {
+		t.Fatalf("algebraic current = %v", got)
+	}
+}
+
+// Transient integration of the full electromechanical ODE must converge to
+// the analytic steady-state displacement amplitude in the linear regime.
+func TestTransientMatchesAnalyticAmplitude(t *testing.T) {
+	p := Default()
+	p.CoilL = 0 // algebraic current path
+	gap := p.GapMax
+	f0 := p.ResonantFreq(gap)
+	rload := 5000.0
+	accel := 0.3 // small, keeps displacement well below the end-stop
+	w := 2 * math.Pi * f0
+
+	sys := ode.Func{N: 2, F: func(tt float64, y, d []float64) {
+		i := p.AlgebraicCurrent(y[1], rload)
+		k := p.EffectiveStiffness(gap)
+		d[0] = y[1]
+		d[1] = (-p.DampingC*y[1] - k*y[0] - p.StopForce(y[0]) - p.Gamma*i - p.Mass*accel*math.Sin(w*tt)) / p.Mass
+	}}
+	// Integrate long enough to pass the transient (Q/f0 seconds ≈ 2 s),
+	// recording the displacement envelope over the last 20 cycles.
+	var xmax float64
+	tEnd := 6.0
+	_, _, err := ode.FixedStep(sys, 0, tEnd, 2e-5, []float64{0, 0}, ode.RK4Step, func(tt float64, y []float64) {
+		if tt > tEnd-20/f0 {
+			if a := math.Abs(y[0]); a > xmax {
+				xmax = a
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.SteadyStateDisplacement(accel, f0, rload, gap)
+	if math.Abs(xmax-want) > 0.05*want {
+		t.Fatalf("transient amplitude %v vs analytic %v", xmax, want)
+	}
+}
+
+// With the end-stop engaged, displacement must saturate near MaxDisp even
+// under excitation that would linearly demand more.
+func TestEndStopLimitsDisplacement(t *testing.T) {
+	p := Default()
+	gap := p.GapMax
+	f0 := p.ResonantFreq(gap)
+	rload := 5000.0
+	accel := 5.0 // strong excitation: linear model would exceed the stop
+	if lin := p.SteadyStateDisplacement(accel, f0, rload, gap); lin < p.MaxDisp {
+		t.Skipf("excitation too weak to engage end-stop (linear %v)", lin)
+	}
+	w := 2 * math.Pi * f0
+	sys := ode.Func{N: 2, F: func(tt float64, y, d []float64) {
+		i := p.AlgebraicCurrent(y[1], rload)
+		k := p.EffectiveStiffness(gap)
+		d[0] = y[1]
+		d[1] = (-p.DampingC*y[1] - k*y[0] - p.StopForce(y[0]) - p.Gamma*i - p.Mass*accel*math.Sin(w*tt)) / p.Mass
+	}}
+	var xmax float64
+	_, _, err := ode.FixedStep(sys, 0, 3, 1e-5, []float64{0, 0}, ode.RK4Step, func(tt float64, y []float64) {
+		if a := math.Abs(y[0]); a > xmax {
+			xmax = a
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Penetration beyond MaxDisp is limited by the stiff contact spring.
+	if xmax > 1.5*p.MaxDisp {
+		t.Fatalf("end-stop failed: xmax = %v, limit %v", xmax, p.MaxDisp)
+	}
+	if xmax < p.MaxDisp {
+		t.Fatalf("end-stop never engaged: xmax = %v", xmax)
+	}
+}
+
+func TestDerivativesWithInductance(t *testing.T) {
+	p := Default()
+	p.CoilL = 0.05
+	s := State{X: 1e-4, V: 0.01, I: 1e-4}
+	dx, dv, di := p.Derivatives(s, 0.5, 0.2, p.GapMax)
+	if dx != s.V {
+		t.Fatal("dx must equal v")
+	}
+	wantDv := (-p.DampingC*s.V - p.EffectiveStiffness(p.GapMax)*s.X - p.Gamma*s.I - p.Mass*0.5) / p.Mass
+	if math.Abs(dv-wantDv) > 1e-12 {
+		t.Fatalf("dv = %v, want %v", dv, wantDv)
+	}
+	wantDi := (p.Gamma*s.V - p.CoilR*s.I - 0.2) / p.CoilL
+	if math.Abs(di-wantDi) > 1e-9 {
+		t.Fatalf("di = %v, want %v", di, wantDi)
+	}
+	// L = 0 returns di = 0 (algebraic regime).
+	p.CoilL = 0
+	if _, _, di := p.Derivatives(s, 0.5, 0.2, p.GapMax); di != 0 {
+		t.Fatal("di must be 0 when L = 0")
+	}
+}
+
+// Property: tuning to the excitation frequency never yields less analytic
+// power than staying untuned (at matched load, inside the band).
+func TestTuningNeverHurtsAtResonance(t *testing.T) {
+	p := Default()
+	lo, hi := p.FreqRange()
+	rload := 5000.0
+	f := func(u float64) bool {
+		frac := math.Mod(math.Abs(u), 1)
+		fin := lo + frac*(hi-lo)
+		gapTuned, _ := p.GapForFreq(fin)
+		pTuned := p.SteadyStatePower(0.6, fin, rload, gapTuned)
+		pUntuned := p.SteadyStatePower(0.6, fin, rload, p.GapMax)
+		return pTuned >= pUntuned-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSteadyStatePower(b *testing.B) {
+	p := Default()
+	gap := p.GapMax
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.SteadyStatePower(0.6, 50, 5000, gap)
+	}
+	_ = sink
+}
+
+func BenchmarkGapForFreq(b *testing.B) {
+	p := Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.GapForFreq(60 + float64(i%20)); !ok {
+			b.Fatal("frequency should be achievable")
+		}
+	}
+}

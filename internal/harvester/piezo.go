@@ -1,0 +1,122 @@
+package harvester
+
+import (
+	"fmt"
+	"math"
+)
+
+// PiezoParams models a piezoelectric vibration harvester — the MEMS-class
+// device of the paper's reference [3] (Boussetta et al., IEEE Sensors J.
+// 2010) — with the standard two-domain lumped model:
+//
+//	m·ẍ + c·ẋ + k·x + Θ·v = −m·a(t)      (mechanical)
+//	C_p·v̇ = Θ·ẋ − v/R_L                  (electrical, resistive load)
+//
+// where x is the tip displacement, v the voltage across the piezo
+// electrodes, Θ the electromechanical coupling (N/V ≡ A·s/m) and C_p the
+// clamped capacitance. It is provided as the alternative transducer
+// substrate: the electromagnetic device (Params) drives the full node
+// simulation, while this model reproduces the piezo physics the related
+// HDL work models, with the same analytic cross-checks.
+type PiezoParams struct {
+	Mass     float64 // effective mass (kg)
+	SpringK  float64 // effective stiffness (N/m)
+	DampingC float64 // mechanical damping (N·s/m)
+	Theta    float64 // electromechanical coupling Θ (N/V)
+	Cp       float64 // clamped capacitance (F)
+	MaxDisp  float64 // displacement limit (m); 0 disables the check
+}
+
+// DefaultPiezo returns parameters of a MEMS-scale cantilever similar to
+// the devices of [3]: ~1.4 kHz resonance, nF-class capacitance, µW output.
+func DefaultPiezo() PiezoParams {
+	return PiezoParams{
+		Mass:     2e-6,  // 2 mg
+		SpringK:  155,   // → f0 ≈ 1.4 kHz
+		DampingC: 2e-4,  // Q ≈ 88
+		Theta:    1e-4,  // N/V
+		Cp:       10e-9, // 10 nF
+		MaxDisp:  50e-6,
+	}
+}
+
+// Validate checks physical plausibility.
+func (p PiezoParams) Validate() error {
+	switch {
+	case p.Mass <= 0:
+		return fmt.Errorf("harvester: piezo mass %g must be positive", p.Mass)
+	case p.SpringK <= 0:
+		return fmt.Errorf("harvester: piezo stiffness %g must be positive", p.SpringK)
+	case p.DampingC < 0:
+		return fmt.Errorf("harvester: piezo damping %g must be non-negative", p.DampingC)
+	case p.Theta <= 0:
+		return fmt.Errorf("harvester: piezo coupling %g must be positive", p.Theta)
+	case p.Cp <= 0:
+		return fmt.Errorf("harvester: piezo capacitance %g must be positive", p.Cp)
+	case p.MaxDisp < 0:
+		return fmt.Errorf("harvester: piezo displacement limit %g must be non-negative", p.MaxDisp)
+	}
+	return nil
+}
+
+// ResonantFreq returns the short-circuit resonance √(k/m)/2π in Hz.
+func (p PiezoParams) ResonantFreq() float64 {
+	return math.Sqrt(p.SpringK/p.Mass) / (2 * math.Pi)
+}
+
+// OpenCircuitFreq returns the open-circuit (stiffened) resonance: the
+// piezo coupling adds Θ²/C_p to the stiffness when no charge can flow.
+func (p PiezoParams) OpenCircuitFreq() float64 {
+	return math.Sqrt((p.SpringK+p.Theta*p.Theta/p.Cp)/p.Mass) / (2 * math.Pi)
+}
+
+// CouplingFactor returns the squared electromechanical coupling
+// coefficient k² = Θ²/(k·C_p + Θ²), the standard figure of merit.
+func (p PiezoParams) CouplingFactor() float64 {
+	t2 := p.Theta * p.Theta
+	return t2 / (p.SpringK*p.Cp + t2)
+}
+
+// Derivatives computes the coupled state derivatives for state (x, ẋ, v)
+// under frame acceleration accel with a resistive load rload (Ω);
+// rload ≤ 0 means open circuit.
+func (p PiezoParams) Derivatives(x, xd, v, accel, rload float64) (dx, dxd, dv float64) {
+	dx = xd
+	dxd = (-p.DampingC*xd - p.SpringK*x - p.Theta*v - p.Mass*accel) / p.Mass
+	dv = p.Theta * xd / p.Cp
+	if rload > 0 {
+		dv -= v / (rload * p.Cp)
+	}
+	return dx, dxd, dv
+}
+
+// SteadyStatePower returns the analytic average power (W) into a resistive
+// load under sinusoidal base acceleration of amplitude accel at frequency
+// f, from the exact linear two-port solution.
+func (p PiezoParams) SteadyStatePower(accel, f, rload float64) float64 {
+	if rload <= 0 {
+		return 0
+	}
+	w := 2 * math.Pi * f
+	// Electrical admittance seen by the velocity source: Y = jωC_p + 1/R.
+	// Voltage v = Θ·jω·X / (jωC_p + 1/R); substitute into the mechanical
+	// equation to get the effective impedance. Solve in complex arithmetic.
+	jwCpR := complex(1/rload, w*p.Cp) // 1/R + jωC_p
+	// Mechanical: (−mω² + jωc + k)·X + Θ·V = −m·A
+	// Electrical: V = Θ·jω·X / (1/R + jωC_p)
+	mech := complex(p.SpringK-p.Mass*w*w, p.DampingC*w)
+	elec := complex(0, w*p.Theta*p.Theta) / jwCpR // Θ²·jω/(1/R+jωC_p)
+	x := complex(-p.Mass*accel, 0) / (mech + elec)
+	v := complex(0, w*p.Theta) * x / jwCpR
+	vAmp := cmplxAbs(v)
+	return vAmp * vAmp / (2 * rload)
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+// OptimalLoadAtResonance returns the classical weak-coupling optimum load
+// R ≈ 1/(ω₀·C_p) at the short-circuit resonance.
+func (p PiezoParams) OptimalLoadAtResonance() float64 {
+	w0 := 2 * math.Pi * p.ResonantFreq()
+	return 1 / (w0 * p.Cp)
+}

@@ -1,0 +1,161 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ode"
+)
+
+func TestDefaultPiezoValidates(t *testing.T) {
+	if err := DefaultPiezo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiezoValidateRejects(t *testing.T) {
+	mut := []func(*PiezoParams){
+		func(p *PiezoParams) { p.Mass = 0 },
+		func(p *PiezoParams) { p.SpringK = -1 },
+		func(p *PiezoParams) { p.DampingC = -1 },
+		func(p *PiezoParams) { p.Theta = 0 },
+		func(p *PiezoParams) { p.Cp = 0 },
+		func(p *PiezoParams) { p.MaxDisp = -1 },
+	}
+	for i, m := range mut {
+		p := DefaultPiezo()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestPiezoFrequencies(t *testing.T) {
+	p := DefaultPiezo()
+	f0 := p.ResonantFreq()
+	if f0 < 1000 || f0 > 2000 {
+		t.Fatalf("resonance %v Hz outside the MEMS-class band", f0)
+	}
+	// Open-circuit resonance must be stiffened above short-circuit.
+	if p.OpenCircuitFreq() <= f0 {
+		t.Fatalf("open-circuit %v must exceed short-circuit %v", p.OpenCircuitFreq(), f0)
+	}
+	// The frequency shift encodes the coupling factor:
+	// (f_oc/f_sc)² = 1/(1−k²).
+	ratio2 := (p.OpenCircuitFreq() / f0) * (p.OpenCircuitFreq() / f0)
+	k2 := p.CouplingFactor()
+	if math.Abs(ratio2-1/(1-k2)) > 1e-9 {
+		t.Fatalf("coupling identity violated: ratio² %v vs 1/(1−k²) %v", ratio2, 1/(1-k2))
+	}
+	if k2 <= 0 || k2 >= 1 {
+		t.Fatalf("coupling factor %v outside (0,1)", k2)
+	}
+}
+
+func TestPiezoSteadyStatePowerPeaksNearResonance(t *testing.T) {
+	p := DefaultPiezo()
+	r := p.OptimalLoadAtResonance()
+	f0 := p.ResonantFreq()
+	pRes := p.SteadyStatePower(1.0, f0, r)
+	if pRes <= 0 {
+		t.Fatalf("power at resonance = %v", pRes)
+	}
+	for _, off := range []float64{-200, 200} {
+		if pOff := p.SteadyStatePower(1.0, f0+off, r); pOff >= pRes {
+			t.Fatalf("power at %+v Hz (%v) ≥ resonance (%v)", off, pOff, pRes)
+		}
+	}
+	// Open circuit draws nothing.
+	if p.SteadyStatePower(1.0, f0, 0) != 0 {
+		t.Fatal("open circuit must yield zero power")
+	}
+}
+
+func TestPiezoOptimalLoadNearAnalytic(t *testing.T) {
+	p := DefaultPiezo()
+	f0 := p.ResonantFreq()
+	want := p.OptimalLoadAtResonance()
+	best, bestR := 0.0, 0.0
+	for r := want / 30; r < want*30; r *= 1.25 {
+		if pw := p.SteadyStatePower(1.0, f0, r); pw > best {
+			best, bestR = pw, r
+		}
+	}
+	if bestR < want/4 || bestR > want*4 {
+		t.Fatalf("empirical optimum %v vs analytic %v", bestR, want)
+	}
+}
+
+func TestPiezoTransientMatchesAnalytic(t *testing.T) {
+	p := DefaultPiezo()
+	f0 := p.ResonantFreq()
+	rload := p.OptimalLoadAtResonance()
+	const accel = 0.5
+	w := 2 * math.Pi * f0
+	sys := ode.Func{N: 3, F: func(tt float64, y, d []float64) {
+		d[0], d[1], d[2] = p.Derivatives(y[0], y[1], y[2], accel*math.Sin(w*tt), rload)
+	}}
+	// Integrate well past the ring-up (Q ≈ 88 cycles) and average v²/R
+	// over the last 50 cycles: 0.3 s ≈ 420 cycles ≫ Q.
+	const tEnd = 0.3
+	var sum float64
+	var count int
+	_, _, err := ode.FixedStep(sys, 0, tEnd, 2e-7, []float64{0, 0, 0}, ode.RK4Step, func(tt float64, y []float64) {
+		if tt > tEnd-50/f0 {
+			sum += y[2] * y[2] / rload
+			count++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sum / float64(count)
+	want := p.SteadyStatePower(accel, f0, rload)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("transient power %v vs analytic %v", got, want)
+	}
+}
+
+func TestPiezoEnergyConservation(t *testing.T) {
+	// Free decay with no load: mechanical + capacitor energy must be
+	// non-increasing and dissipate only through mechanical damping.
+	p := DefaultPiezo()
+	energy := func(y []float64) float64 {
+		return 0.5*p.Mass*y[1]*y[1] + 0.5*p.SpringK*y[0]*y[0] + 0.5*p.Cp*y[2]*y[2]
+	}
+	sys := ode.Func{N: 3, F: func(tt float64, y, d []float64) {
+		d[0], d[1], d[2] = p.Derivatives(y[0], y[1], y[2], 0, 0)
+	}}
+	y0 := []float64{10e-6, 0, 0}
+	prev := energy(y0)
+	e0 := prev
+	yEnd, _, err := ode.FixedStep(sys, 0, 0.05, 2e-7, y0, ode.RK4Step, func(tt float64, y []float64) {
+		e := energy(y)
+		if e > prev*(1+1e-9) {
+			t.Fatalf("energy grew at t=%v: %v → %v", tt, prev, e)
+		}
+		prev = e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eEnd := energy(yEnd); eEnd >= e0 {
+		t.Fatalf("no dissipation: %v → %v", e0, eEnd)
+	}
+}
+
+func TestPiezoMicrowattScale(t *testing.T) {
+	// MEMS-class device at 1 g (the standard characterization level of
+	// [3]): sub-µW to µW output. The damping-limited ceiling is
+	// P_max = (m·a)²/(8c) ≈ 0.3 µW for these parameters.
+	p := DefaultPiezo()
+	pw := p.SteadyStatePower(9.81, p.ResonantFreq(), p.OptimalLoadAtResonance())
+	if pw < 1e-8 || pw > 1e-5 {
+		t.Fatalf("power %v W outside the MEMS sub-µW band", pw)
+	}
+	ceiling := math.Pow(p.Mass*9.81, 2) / (8 * p.DampingC)
+	if pw > ceiling {
+		t.Fatalf("power %v exceeds the damping-limited ceiling %v", pw, ceiling)
+	}
+}

@@ -1,0 +1,89 @@
+package la
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ. It is used for D-optimal design scoring
+// (log-determinants of information matrices) and for sampling.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive definite matrix a. It returns ErrSingular if a is not positive
+// definite to working precision.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	n := a.rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// Solve solves A·x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= c.l.At(i, j) * y[j]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// LogDet returns log(det A) = 2·Σ log L_ii. This is the D-optimality
+// criterion evaluated on an information matrix.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	n := c.l.rows
+	for i := 0; i < n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// LogDetSPD returns log(det a) for a symmetric positive definite matrix, or
+// ErrSingular if a is not SPD.
+func LogDetSPD(a *Matrix) (float64, error) {
+	c, err := FactorCholesky(a)
+	if err != nil {
+		return 0, err
+	}
+	return c.LogDet(), nil
+}

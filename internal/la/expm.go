@@ -1,0 +1,102 @@
+package la
+
+import "math"
+
+// Expm returns the matrix exponential e^A computed by scaling-and-squaring
+// with a degree-6 Padé approximant. It is used to build the exact
+// zero-order-hold discretization A_d = e^{A·h} of the linearized harvester
+// state-space model (the explicit technique of companion paper [4]).
+func Expm(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	n := a.rows
+	if n == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	// Scale A by 2^-s so that ||A/2^s|| is small.
+	norm := matrixNorm1(a)
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+		if s < 0 {
+			s = 0
+		}
+	}
+	scaled := a.Scale(math.Pow(2, -float64(s)))
+
+	// Padé(6,6): N(A)·D(A)⁻¹ with coefficients c_k.
+	const degree = 6
+	c := make([]float64, degree+1)
+	c[0] = 1
+	for k := 1; k <= degree; k++ {
+		c[k] = c[k-1] * float64(degree-k+1) / (float64(k) * float64(2*degree-k+1))
+	}
+	x := scaled.Clone()
+	even := Identity(n).Scale(c[0]) // terms with even powers
+	odd := NewMatrix(n, n)          // terms with odd powers
+	pow := Identity(n)
+	for k := 1; k <= degree; k++ {
+		pow = pow.Mul(x)
+		term := pow.Scale(c[k])
+		if k%2 == 0 {
+			even = even.AddM(term)
+		} else {
+			odd = odd.AddM(term)
+		}
+	}
+	num := even.AddM(odd)
+	den := even.SubM(odd)
+	lu, err := FactorLU(den)
+	if err != nil {
+		return nil, err
+	}
+	r, err := lu.SolveMatrix(num)
+	if err != nil {
+		return nil, err
+	}
+	// Undo the scaling by repeated squaring.
+	for k := 0; k < s; k++ {
+		r = r.Mul(r)
+	}
+	return r, nil
+}
+
+// DiscretizeZOH converts the continuous affine system ẏ = A·y + B·u (u held
+// constant over each step) into the exact discrete update
+//
+//	y_{k+1} = Ad·y_k + Bd·u_k
+//
+// with Ad = e^{A·h} and Bd = ∫₀ʰ e^{A·τ}dτ·B, computed via the standard
+// block-matrix exponential of [[A, B],[0, 0]].
+func DiscretizeZOH(a, b *Matrix, h float64) (ad, bd *Matrix, err error) {
+	if a.rows != a.cols || b.rows != a.rows {
+		return nil, nil, ErrShape
+	}
+	n := a.rows
+	m := b.cols
+	blk := NewMatrix(n+m, n+m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			blk.Set(i, j, a.At(i, j)*h)
+		}
+		for j := 0; j < m; j++ {
+			blk.Set(i, n+j, b.At(i, j)*h)
+		}
+	}
+	e, err := Expm(blk)
+	if err != nil {
+		return nil, nil, err
+	}
+	ad = NewMatrix(n, n)
+	bd = NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ad.Set(i, j, e.At(i, j))
+		}
+		for j := 0; j < m; j++ {
+			bd.Set(i, j, e.At(i, n+j))
+		}
+	}
+	return ad, bd, nil
+}

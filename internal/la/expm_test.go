@@ -1,0 +1,158 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpmZero(t *testing.T) {
+	e, err := Expm(NewMatrix(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SubM(Identity(3)).MaxAbs() > 1e-14 {
+		t.Fatal("e^0 must be I")
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -2)
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e.At(0, 0), math.E, 1e-12) {
+		t.Fatalf("e^1 = %v", e.At(0, 0))
+	}
+	if !almostEq(e.At(1, 1), math.Exp(-2), 1e-12) {
+		t.Fatalf("e^-2 = %v", e.At(1, 1))
+	}
+	if math.Abs(e.At(0, 1)) > 1e-14 || math.Abs(e.At(1, 0)) > 1e-14 {
+		t.Fatal("off-diagonals must stay zero")
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// exp([[0,-θ],[θ,0]]) is a rotation by θ.
+	theta := 0.7
+	a := NewMatrixFrom(2, 2, []float64{0, -theta, theta, 0})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, s := math.Cos(theta), math.Sin(theta)
+	want := NewMatrixFrom(2, 2, []float64{c, -s, s, c})
+	if e.SubM(want).MaxAbs() > 1e-12 {
+		t.Fatalf("rotation mismatch:\n%v", e)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	// A with a big norm exercises the squaring path: exp(diag(10, -10)).
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 10)
+	a.Set(1, 1, -10)
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e.At(0, 0), math.Exp(10), 1e-9) {
+		t.Fatalf("e^10 = %v, want %v", e.At(0, 0), math.Exp(10))
+	}
+}
+
+func TestExpmGroupProperty(t *testing.T) {
+	// e^{A}·e^{A} = e^{2A} for random (commuting with itself) matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		e1, err := Expm(a)
+		if err != nil {
+			return false
+		}
+		e2, err := Expm(a.Scale(2))
+		if err != nil {
+			return false
+		}
+		return e1.Mul(e1).SubM(e2).MaxAbs() < 1e-8*(1+e2.MaxAbs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpmNonSquare(t *testing.T) {
+	if _, err := Expm(NewMatrix(2, 3)); err != ErrShape {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestDiscretizeZOHScalar(t *testing.T) {
+	// ẏ = −y + u, exact: Ad = e^{−h}, Bd = 1 − e^{−h}.
+	a := NewMatrixFrom(1, 1, []float64{-1})
+	b := NewMatrixFrom(1, 1, []float64{1})
+	h := 0.3
+	ad, bd, err := DiscretizeZOH(a, b, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ad.At(0, 0), math.Exp(-h), 1e-12) {
+		t.Fatalf("Ad = %v", ad.At(0, 0))
+	}
+	if !almostEq(bd.At(0, 0), 1-math.Exp(-h), 1e-12) {
+		t.Fatalf("Bd = %v", bd.At(0, 0))
+	}
+}
+
+func TestDiscretizeZOHMatchesIntegration(t *testing.T) {
+	// Compare the ZOH update against brute-force small-step Euler
+	// integration of a 2-state system with constant input.
+	a := NewMatrixFrom(2, 2, []float64{0, 1, -4, -0.5})
+	b := NewMatrixFrom(2, 1, []float64{0, 1})
+	h := 0.05
+	ad, bd, err := DiscretizeZOH(a, b, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{1, 0}
+	u := 0.7
+	// One ZOH step.
+	yz := ad.MulVec(y)
+	for i := range yz {
+		yz[i] += bd.At(i, 0) * u
+	}
+	// Fine Euler.
+	ye := []float64{1, 0}
+	const nSub = 200000
+	dt := h / nSub
+	for k := 0; k < nSub; k++ {
+		d0 := a.At(0, 0)*ye[0] + a.At(0, 1)*ye[1] + b.At(0, 0)*u
+		d1 := a.At(1, 0)*ye[0] + a.At(1, 1)*ye[1] + b.At(1, 0)*u
+		ye[0] += dt * d0
+		ye[1] += dt * d1
+	}
+	for i := range yz {
+		if !almostEq(yz[i], ye[i], 1e-4) {
+			t.Fatalf("state %d: ZOH %v vs integrated %v", i, yz[i], ye[i])
+		}
+	}
+}
+
+func TestDiscretizeZOHShapeErrors(t *testing.T) {
+	if _, _, err := DiscretizeZOH(NewMatrix(2, 3), NewMatrix(2, 1), 0.1); err != ErrShape {
+		t.Fatal("non-square A must be rejected")
+	}
+	if _, _, err := DiscretizeZOH(NewMatrix(2, 2), NewMatrix(3, 1), 0.1); err != ErrShape {
+		t.Fatal("mismatched B must be rejected")
+	}
+}

@@ -1,0 +1,216 @@
+package la
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	lu   *Matrix // packed L (unit diagonal, below) and U (on/above diagonal)
+	piv  []int   // row permutation
+	sign float64 // determinant sign from pivoting
+}
+
+// FactorLU computes the LU factorization of the square matrix a with partial
+// pivoting. It returns ErrSingular if a pivot is exactly zero; near-singular
+// matrices factor successfully but solves may amplify error (check
+// ConditionEstimate if that matters).
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		mx := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > mx {
+				mx, p = a, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivVal
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Solve solves A·x = b for a single right-hand side.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		var s float64
+		row := f.lu.data[i*n : i*n+i]
+		for j, l := range row {
+			s += l * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		row := f.lu.data[i*n+i+1 : (i+1)*n]
+		for j, u := range row {
+			s += u * x[i+1+j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = (x[i] - s) / d
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A·X = B column by column.
+func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
+	if b.rows != f.lu.rows {
+		return nil, ErrShape
+	}
+	out := NewMatrix(b.rows, b.cols)
+	for j := 0; j < b.cols; j++ {
+		x, err := f.Solve(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range x {
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	n := f.lu.rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Inverse returns A⁻¹ computed from the factorization.
+func (f *LU) Inverse() (*Matrix, error) {
+	return f.SolveMatrix(Identity(f.lu.rows))
+}
+
+// Solve solves the square system a·x = b directly (convenience wrapper
+// around FactorLU).
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns the inverse of a square matrix.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse()
+}
+
+// ConditionEstimate returns a cheap lower-bound estimate of the 1-norm
+// condition number of a, using one factorization and a few solves. It is
+// intended for diagnostics (flagging ill-conditioned design matrices), not
+// for rigorous analysis.
+func ConditionEstimate(a *Matrix) (float64, error) {
+	if a.rows != a.cols {
+		return 0, ErrShape
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		return math.Inf(1), nil // singular: infinite condition number
+	}
+	norm1 := matrixNorm1(a)
+	// Estimate ||A⁻¹||₁ by solving against the all-ones vector and a
+	// one-hot probe at the column with the largest solution component.
+	n := a.rows
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1.0 / float64(n)
+	}
+	x, err := f.Solve(ones)
+	if err != nil {
+		return math.Inf(1), nil
+	}
+	best := vecNorm1(x)
+	kmax := 0
+	for i, v := range x {
+		if math.Abs(v) > math.Abs(x[kmax]) {
+			kmax = i
+		}
+	}
+	probe := make([]float64, n)
+	probe[kmax] = 1
+	if x2, err2 := f.Solve(probe); err2 == nil {
+		if v := vecNorm1(x2); v > best {
+			best = v
+		}
+	}
+	return norm1 * best, nil
+}
+
+func matrixNorm1(a *Matrix) float64 {
+	var mx float64
+	for j := 0; j < a.cols; j++ {
+		var s float64
+		for i := 0; i < a.rows; i++ {
+			s += math.Abs(a.At(i, j))
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+func vecNorm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}

@@ -1,0 +1,242 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewMatrixZero(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Fatalf("At(0,1) = %v, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := Identity(2).Mul(a)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != a.At(i, j) {
+				t.Fatalf("I*A != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	a.Mul(b)
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	got := a.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := a.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims wrong")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(j, i) != a.At(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		b := a.T().T()
+		return b.SubM(a).MaxAbs() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	r := a.Row(0)
+	r[0] = 99
+	if a.At(0, 0) != 1 {
+		t.Fatal("Row must return a copy")
+	}
+	c := a.Col(1)
+	c[0] = 99
+	if a.At(0, 1) != 2 {
+		t.Fatal("Col must return a copy")
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	a := NewMatrix(2, 3)
+	a.SetRow(1, []float64{7, 8, 9})
+	if a.At(1, 0) != 7 || a.At(1, 2) != 9 {
+		t.Fatal("SetRow did not copy values")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{4, 3, 2, 1})
+	s := a.AddM(b)
+	if s.At(0, 0) != 5 || s.At(1, 1) != 5 {
+		t.Fatal("AddM wrong")
+	}
+	d := a.SubM(b)
+	if d.At(0, 0) != -3 || d.At(1, 1) != 3 {
+		t.Fatal("SubM wrong")
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatal("Scale wrong")
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 4 {
+		t.Fatal("operands mutated")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{3, 0, 0, -4})
+	if a.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", a.MaxAbs())
+	}
+	if !almostEq(a.FrobeniusNorm(), 5, 1e-12) {
+		t.Fatalf("Frobenius = %v, want 5", a.FrobeniusNorm())
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 3})
+	if !a.IsSymmetric(0) {
+		t.Fatal("expected symmetric")
+	}
+	a.Set(0, 1, 2.1)
+	if a.IsSymmetric(1e-6) {
+		t.Fatal("expected asymmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewMatrixFrom(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStringContainsValues(t *testing.T) {
+	a := NewMatrixFrom(1, 2, []float64{1.5, -2})
+	s := a.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		return lhs.SubM(rhs).MaxAbs() < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cash–Karp embedded Runge–Kutta 4(5) coefficients.
+var (
+	ckA = [6]float64{0, 1. / 5, 3. / 10, 3. / 5, 1, 7. / 8}
+	ckB = [6][5]float64{
+		{},
+		{1. / 5},
+		{3. / 40, 9. / 40},
+		{3. / 10, -9. / 10, 6. / 5},
+		{-11. / 54, 5. / 2, -70. / 27, 35. / 27},
+		{1631. / 55296, 175. / 512, 575. / 13824, 44275. / 110592, 253. / 4096},
+	}
+	ckC  = [6]float64{37. / 378, 0, 250. / 621, 125. / 594, 0, 512. / 1771}
+	ckDC = [6]float64{
+		37./378 - 2825./27648,
+		0,
+		250./621 - 18575./48384,
+		125./594 - 13525./55296,
+		-277. / 14336,
+		512./1771 - 1./4,
+	}
+)
+
+// AdaptiveConfig controls the adaptive RK45 integrator.
+type AdaptiveConfig struct {
+	RelTol  float64 // relative error tolerance (default 1e-6)
+	AbsTol  float64 // absolute error tolerance (default 1e-9)
+	H0      float64 // initial step (default (t1−t0)/100)
+	HMin    float64 // minimum step before giving up (default 1e-12·(t1−t0))
+	HMax    float64 // maximum step (default t1−t0)
+	Safety  float64 // step-size safety factor (default 0.9)
+	MaxStep int     // accepted-step budget (default 10 000 000)
+}
+
+func (c *AdaptiveConfig) defaults(span float64) {
+	if c.RelTol <= 0 {
+		c.RelTol = 1e-6
+	}
+	if c.AbsTol <= 0 {
+		c.AbsTol = 1e-9
+	}
+	if c.H0 <= 0 {
+		c.H0 = span / 100
+	}
+	if c.HMin <= 0 {
+		c.HMin = 1e-12 * span
+	}
+	if c.HMax <= 0 {
+		c.HMax = span
+	}
+	if c.Safety <= 0 {
+		c.Safety = 0.9
+	}
+	if c.MaxStep <= 0 {
+		c.MaxStep = 10_000_000
+	}
+}
+
+// Adaptive integrates sys from t0 to t1 with the Cash–Karp RK45 embedded
+// pair and proportional step control. observe, if non-nil, is called after
+// each accepted step (state slice reused).
+func Adaptive(sys System, t0, t1 float64, y0 []float64, cfg AdaptiveConfig, observe func(t float64, y []float64)) ([]float64, Stats, error) {
+	if t1 < t0 {
+		return nil, Stats{}, fmt.Errorf("ode: bad interval t0=%g t1=%g", t0, t1)
+	}
+	span := t1 - t0
+	cfg.defaults(span)
+	n := sys.Dim()
+	if len(y0) != n {
+		return nil, Stats{}, fmt.Errorf("ode: state length %d, want %d", len(y0), n)
+	}
+	y := make([]float64, n)
+	copy(y, y0)
+	k := make([][]float64, 6)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	ytmp := make([]float64, n)
+	ynew := make([]float64, n)
+	yerr := make([]float64, n)
+
+	var st Stats
+	if observe != nil {
+		observe(t0, y)
+	}
+	t := t0
+	h := math.Min(cfg.H0, cfg.HMax)
+	for t < t1 {
+		if st.Steps >= cfg.MaxStep {
+			return y, st, fmt.Errorf("ode: step budget %d exhausted at t=%g", cfg.MaxStep, t)
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		// Evaluate the six stages.
+		sys.Derivatives(t, y, k[0])
+		st.FuncEvals++
+		for s := 1; s < 6; s++ {
+			for i := 0; i < n; i++ {
+				acc := y[i]
+				for j := 0; j < s; j++ {
+					acc += h * ckB[s][j] * k[j][i]
+				}
+				ytmp[i] = acc
+			}
+			sys.Derivatives(t+ckA[s]*h, ytmp, k[s])
+			st.FuncEvals++
+		}
+		// 5th-order solution and embedded error estimate.
+		for i := 0; i < n; i++ {
+			var acc, errAcc float64
+			for s := 0; s < 6; s++ {
+				acc += ckC[s] * k[s][i]
+				errAcc += ckDC[s] * k[s][i]
+			}
+			ynew[i] = y[i] + h*acc
+			yerr[i] = h * errAcc
+		}
+		// Error norm against mixed abs/rel tolerance.
+		var errNorm float64
+		for i := 0; i < n; i++ {
+			sc := cfg.AbsTol + cfg.RelTol*math.Max(math.Abs(y[i]), math.Abs(ynew[i]))
+			e := math.Abs(yerr[i]) / sc
+			if e > errNorm {
+				errNorm = e
+			}
+		}
+		if math.IsNaN(errNorm) {
+			return y, st, fmt.Errorf("ode: state diverged at t=%g", t)
+		}
+		if errNorm <= 1 {
+			// Accept.
+			t += h
+			copy(y, ynew)
+			st.Steps++
+			if observe != nil {
+				observe(t, y)
+			}
+			// Grow step, bounded.
+			grow := 5.0
+			if errNorm > 0 {
+				grow = cfg.Safety * math.Pow(errNorm, -0.2)
+				if grow > 5 {
+					grow = 5
+				}
+			}
+			h = math.Min(h*grow, cfg.HMax)
+		} else {
+			// Reject and shrink.
+			st.Rejected++
+			shrink := cfg.Safety * math.Pow(errNorm, -0.25)
+			if shrink < 0.1 {
+				shrink = 0.1
+			}
+			h *= shrink
+			if h < cfg.HMin {
+				return y, st, fmt.Errorf("%w: h=%g below minimum at t=%g", ErrStepFailed, h, t)
+			}
+		}
+	}
+	return y, st, nil
+}

@@ -1,0 +1,144 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// ImplicitConfig controls the implicit trapezoidal integrator.
+type ImplicitConfig struct {
+	NewtonTol   float64 // Newton convergence tolerance on the update norm (default 1e-10)
+	MaxNewton   int     // maximum Newton iterations per step (default 25)
+	JacEps      float64 // finite-difference perturbation (default 1e-7)
+	FreshJacPer int     // rebuild the Jacobian every k Newton iterations (default 1 = every iteration, the classical full Newton)
+}
+
+func (c *ImplicitConfig) defaults() {
+	if c.NewtonTol <= 0 {
+		c.NewtonTol = 1e-10
+	}
+	if c.MaxNewton <= 0 {
+		c.MaxNewton = 25
+	}
+	if c.JacEps <= 0 {
+		c.JacEps = 1e-7
+	}
+	if c.FreshJacPer <= 0 {
+		c.FreshJacPer = 1
+	}
+}
+
+// ImplicitTrapezoidal integrates sys from t0 to t1 with constant step h
+// using the trapezoidal rule
+//
+//	y_{k+1} = y_k + h/2·(f(t_k, y_k) + f(t_{k+1}, y_{k+1}))
+//
+// solving the per-step nonlinear equation by damped Newton–Raphson with a
+// finite-difference Jacobian. This is the reference "analogue simulation"
+// engine: A-stable and accurate, but each step costs a Jacobian build and
+// an LU solve — exactly the cost profile the paper's DoE flow works around.
+func ImplicitTrapezoidal(sys System, t0, t1, h float64, y0 []float64, cfg ImplicitConfig, observe func(t float64, y []float64)) ([]float64, Stats, error) {
+	if h <= 0 || t1 < t0 {
+		return nil, Stats{}, fmt.Errorf("ode: bad interval t0=%g t1=%g h=%g", t0, t1, h)
+	}
+	cfg.defaults()
+	n := sys.Dim()
+	if len(y0) != n {
+		return nil, Stats{}, fmt.Errorf("ode: state length %d, want %d", len(y0), n)
+	}
+	y := make([]float64, n)
+	copy(y, y0)
+	fk := make([]float64, n)  // f(t_k, y_k)
+	fk1 := make([]float64, n) // f(t_{k+1}, trial)
+	res := make([]float64, n) // Newton residual
+	trial := make([]float64, n)
+	pert := make([]float64, n)
+	fpert := make([]float64, n)
+
+	var st Stats
+	if observe != nil {
+		observe(t0, y)
+	}
+	t := t0
+	for t < t1 {
+		hh := h
+		if t+hh > t1 {
+			hh = t1 - t
+		}
+		sys.Derivatives(t, y, fk)
+		st.FuncEvals++
+		// Predictor: forward Euler.
+		for i := range trial {
+			trial[i] = y[i] + hh*fk[i]
+		}
+		var jacLU *la.LU
+		converged := false
+		for it := 0; it < cfg.MaxNewton; it++ {
+			st.NewtonIters++
+			sys.Derivatives(t+hh, trial, fk1)
+			st.FuncEvals++
+			// Residual g(x) = x − y_k − h/2·(f_k + f(t+h, x)).
+			var rnorm float64
+			for i := range res {
+				res[i] = trial[i] - y[i] - hh/2*(fk[i]+fk1[i])
+				if a := math.Abs(res[i]); a > rnorm {
+					rnorm = a
+				}
+			}
+			if rnorm <= cfg.NewtonTol*(1+vecMaxAbs(trial)) {
+				converged = true
+				break
+			}
+			if jacLU == nil || it%cfg.FreshJacPer == 0 {
+				// Build J = I − h/2·∂f/∂y by finite differences.
+				jac := la.NewMatrix(n, n)
+				st.JacEvals++
+				for j := 0; j < n; j++ {
+					copy(pert, trial)
+					dx := cfg.JacEps * (1 + math.Abs(trial[j]))
+					pert[j] += dx
+					sys.Derivatives(t+hh, pert, fpert)
+					st.FuncEvals++
+					for i := 0; i < n; i++ {
+						jac.Set(i, j, -hh/2*(fpert[i]-fk1[i])/dx)
+					}
+					jac.Add(j, j, 1)
+				}
+				lu, err := la.FactorLU(jac)
+				if err != nil {
+					return y, st, fmt.Errorf("ode: singular Newton Jacobian at t=%g: %w", t, err)
+				}
+				jacLU = lu
+			}
+			dx, err := jacLU.Solve(res)
+			if err != nil {
+				return y, st, fmt.Errorf("ode: Newton solve failed at t=%g: %w", t, err)
+			}
+			for i := range trial {
+				trial[i] -= dx[i]
+			}
+		}
+		if !converged {
+			return y, st, fmt.Errorf("%w: Newton did not converge at t=%g", ErrStepFailed, t)
+		}
+		copy(y, trial)
+		t += hh
+		st.Steps++
+		if observe != nil {
+			observe(t, y)
+		}
+	}
+	return y, st, nil
+}
+
+func vecMaxAbs(x []float64) float64 {
+	var mx float64
+	for _, v := range x {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}

@@ -1,0 +1,153 @@
+// Package ode provides the initial-value-problem integrators used by the
+// whole-node transient simulator: a fixed-step fourth-order Runge–Kutta
+// method, an adaptive Cash–Karp RK45 method, and an implicit trapezoidal
+// method whose per-step nonlinear system is solved by Newton–Raphson
+// iteration with a finite-difference Jacobian.
+//
+// The implicit trapezoidal integrator is the "traditional analogue
+// simulation" path the paper identifies as the CPU-time bottleneck; the
+// explicit linearized state-space engine in internal/sim is the accelerated
+// alternative (companion paper [4]).
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// System is a first-order ODE system y' = f(t, y).
+type System interface {
+	// Dim returns the state dimension.
+	Dim() int
+	// Derivatives writes f(t, y) into dydt. len(y) == len(dydt) == Dim().
+	Derivatives(t float64, y, dydt []float64)
+}
+
+// Func adapts a plain function to the System interface.
+type Func struct {
+	N int
+	F func(t float64, y, dydt []float64)
+}
+
+// Dim returns the state dimension.
+func (f Func) Dim() int { return f.N }
+
+// Derivatives evaluates the wrapped function.
+func (f Func) Derivatives(t float64, y, dydt []float64) { f.F(t, y, dydt) }
+
+// ErrStepFailed is returned when an adaptive or implicit step cannot reach
+// its tolerance even at the minimum step size.
+var ErrStepFailed = errors.New("ode: step failed to converge")
+
+// Stats accumulates integrator work counters so the benchmark harness can
+// report simulation cost in solver-independent units.
+type Stats struct {
+	Steps       int // accepted steps
+	Rejected    int // rejected trial steps (adaptive only)
+	FuncEvals   int // right-hand-side evaluations
+	NewtonIters int // Newton iterations (implicit only)
+	JacEvals    int // Jacobian evaluations (implicit only)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Steps += other.Steps
+	s.Rejected += other.Rejected
+	s.FuncEvals += other.FuncEvals
+	s.NewtonIters += other.NewtonIters
+	s.JacEvals += other.JacEvals
+}
+
+// String summarizes the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("steps=%d rejected=%d fevals=%d newton=%d jac=%d",
+		s.Steps, s.Rejected, s.FuncEvals, s.NewtonIters, s.JacEvals)
+}
+
+// StepFunc advances the state y from t by h in place and returns the number
+// of function evaluations spent.
+type StepFunc func(sys System, t, h float64, y, scratch []float64) int
+
+// EulerStep performs one explicit (forward) Euler step.
+func EulerStep(sys System, t, h float64, y, scratch []float64) int {
+	n := sys.Dim()
+	d := scratch[:n]
+	sys.Derivatives(t, y, d)
+	for i := range y {
+		y[i] += h * d[i]
+	}
+	return 1
+}
+
+// RK4Step performs one classical fourth-order Runge–Kutta step.
+func RK4Step(sys System, t, h float64, y, scratch []float64) int {
+	n := sys.Dim()
+	k1 := scratch[0*n : 1*n]
+	k2 := scratch[1*n : 2*n]
+	k3 := scratch[2*n : 3*n]
+	k4 := scratch[3*n : 4*n]
+	tmp := scratch[4*n : 5*n]
+
+	sys.Derivatives(t, y, k1)
+	for i := range y {
+		tmp[i] = y[i] + 0.5*h*k1[i]
+	}
+	sys.Derivatives(t+0.5*h, tmp, k2)
+	for i := range y {
+		tmp[i] = y[i] + 0.5*h*k2[i]
+	}
+	sys.Derivatives(t+0.5*h, tmp, k3)
+	for i := range y {
+		tmp[i] = y[i] + h*k3[i]
+	}
+	sys.Derivatives(t+h, tmp, k4)
+	for i := range y {
+		y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+	}
+	return 4
+}
+
+// ScratchLen returns the scratch-buffer length required by the fixed-step
+// methods for an n-dimensional system.
+func ScratchLen(n int) int { return 5 * n }
+
+// FixedStep integrates sys from t0 to t1 with constant step h using step
+// (EulerStep or RK4Step). If observe is non-nil it is called after every
+// accepted step (and once at t0) with the current time and state; the state
+// slice is reused, so observers must copy what they keep.
+func FixedStep(sys System, t0, t1, h float64, y0 []float64, step StepFunc, observe func(t float64, y []float64)) ([]float64, Stats, error) {
+	if h <= 0 || t1 < t0 {
+		return nil, Stats{}, fmt.Errorf("ode: bad interval t0=%g t1=%g h=%g", t0, t1, h)
+	}
+	n := sys.Dim()
+	if len(y0) != n {
+		return nil, Stats{}, fmt.Errorf("ode: state length %d, want %d", len(y0), n)
+	}
+	y := make([]float64, n)
+	copy(y, y0)
+	scratch := make([]float64, ScratchLen(n))
+	var st Stats
+	if observe != nil {
+		observe(t0, y)
+	}
+	t := t0
+	for t < t1 {
+		hh := h
+		if t+hh > t1 {
+			hh = t1 - t
+		}
+		st.FuncEvals += step(sys, t, hh, y, scratch)
+		st.Steps++
+		t += hh
+		for _, v := range y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, st, fmt.Errorf("ode: state diverged at t=%g", t)
+			}
+		}
+		if observe != nil {
+			observe(t, y)
+		}
+	}
+	return y, st, nil
+}

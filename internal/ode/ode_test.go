@@ -1,0 +1,274 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// decay is y' = −y with solution y(t) = y0·e^{−t}.
+var decay = Func{N: 1, F: func(t float64, y, d []float64) { d[0] = -y[0] }}
+
+// oscillator is the harmonic oscillator x” = −x as a first-order system;
+// energy x² + v² is conserved.
+var oscillator = Func{N: 2, F: func(t float64, y, d []float64) {
+	d[0] = y[1]
+	d[1] = -y[0]
+}}
+
+// stiffSys has widely separated eigenvalues (−1, −1000); explicit methods
+// need tiny steps while the implicit trapezoidal rule stays stable.
+var stiffSys = Func{N: 2, F: func(t float64, y, d []float64) {
+	d[0] = -y[0]
+	d[1] = -1000 * y[1]
+}}
+
+func TestEulerConvergesFirstOrder(t *testing.T) {
+	// Halving h should roughly halve the error.
+	errAt := func(h float64) float64 {
+		y, _, err := FixedStep(decay, 0, 1, h, []float64{1}, EulerStep, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - math.Exp(-1))
+	}
+	e1, e2 := errAt(1e-3), errAt(5e-4)
+	ratio := e1 / e2
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("Euler error ratio = %v, want ≈2 (first order)", ratio)
+	}
+}
+
+func TestRK4Accuracy(t *testing.T) {
+	y, st, err := FixedStep(decay, 0, 2, 1e-2, []float64{1}, RK4Step, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := y[0], math.Exp(-2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("y(2) = %v, want %v", got, want)
+	}
+	if st.Steps != 200 {
+		t.Fatalf("steps = %d, want 200", st.Steps)
+	}
+	if st.FuncEvals != 800 {
+		t.Fatalf("fevals = %d, want 800", st.FuncEvals)
+	}
+}
+
+func TestRK4ConvergesFourthOrder(t *testing.T) {
+	errAt := func(h float64) float64 {
+		y, _, err := FixedStep(decay, 0, 1, h, []float64{1}, RK4Step, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - math.Exp(-1))
+	}
+	e1, e2 := errAt(0.1), errAt(0.05)
+	order := math.Log2(e1 / e2)
+	if order < 3.7 || order > 4.3 {
+		t.Fatalf("RK4 observed order = %v, want ≈4", order)
+	}
+}
+
+func TestFixedStepObserver(t *testing.T) {
+	var times []float64
+	_, _, err := FixedStep(decay, 0, 1, 0.25, []float64{1}, RK4Step, func(tt float64, y []float64) {
+		times = append(times, tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 5 || times[0] != 0 || times[4] != 1 {
+		t.Fatalf("observer times = %v", times)
+	}
+}
+
+func TestFixedStepFinalPartialStep(t *testing.T) {
+	// 0→1 with h=0.3 needs a final partial step; end time must be exact.
+	var last float64
+	_, _, err := FixedStep(decay, 0, 1, 0.3, []float64{1}, RK4Step, func(tt float64, y []float64) { last = tt })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 1 {
+		t.Fatalf("final time = %v, want 1", last)
+	}
+}
+
+func TestFixedStepBadArgs(t *testing.T) {
+	if _, _, err := FixedStep(decay, 0, 1, -1, []float64{1}, RK4Step, nil); err == nil {
+		t.Fatal("negative h must error")
+	}
+	if _, _, err := FixedStep(decay, 1, 0, 0.1, []float64{1}, RK4Step, nil); err == nil {
+		t.Fatal("t1 < t0 must error")
+	}
+	if _, _, err := FixedStep(decay, 0, 1, 0.1, []float64{1, 2}, RK4Step, nil); err == nil {
+		t.Fatal("wrong state length must error")
+	}
+}
+
+func TestFixedStepDetectsDivergence(t *testing.T) {
+	blowup := Func{N: 1, F: func(t float64, y, d []float64) { d[0] = y[0] * y[0] }}
+	_, _, err := FixedStep(blowup, 0, 10, 0.5, []float64{10}, EulerStep, nil)
+	if err == nil {
+		t.Fatal("expected divergence error")
+	}
+}
+
+func TestRK4EnergyConservation(t *testing.T) {
+	y, _, err := FixedStep(oscillator, 0, 2*math.Pi*10, 1e-3, []float64{1, 0}, RK4Step, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := y[0]*y[0] + y[1]*y[1]
+	if math.Abs(energy-1) > 1e-8 {
+		t.Fatalf("energy drifted to %v after 10 periods", energy)
+	}
+}
+
+func TestAdaptiveDecay(t *testing.T) {
+	y, st, err := Adaptive(decay, 0, 5, []float64{1}, AdaptiveConfig{RelTol: 1e-9, AbsTol: 1e-12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := y[0], math.Exp(-5); math.Abs(got-want) > 1e-8 {
+		t.Fatalf("y(5) = %v, want %v", got, want)
+	}
+	if st.Steps == 0 || st.FuncEvals < 6*st.Steps {
+		t.Fatalf("suspicious stats: %+v", st)
+	}
+}
+
+func TestAdaptiveOscillatorPhase(t *testing.T) {
+	// After one full period the state must return to (1, 0).
+	y, _, err := Adaptive(oscillator, 0, 2*math.Pi, []float64{1, 0}, AdaptiveConfig{RelTol: 1e-10, AbsTol: 1e-12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-7 || math.Abs(y[1]) > 1e-7 {
+		t.Fatalf("after one period y = %v, want [1 0]", y)
+	}
+}
+
+func TestAdaptiveUsesFewerStepsThanFixedForSmoothProblem(t *testing.T) {
+	_, stA, err := Adaptive(decay, 0, 10, []float64{1}, AdaptiveConfig{RelTol: 1e-6, AbsTol: 1e-9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stF, err := FixedStep(decay, 0, 10, 1e-4, []float64{1}, RK4Step, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.FuncEvals >= stF.FuncEvals {
+		t.Fatalf("adaptive (%d fevals) should beat fixed tiny-step (%d)", stA.FuncEvals, stF.FuncEvals)
+	}
+}
+
+func TestAdaptiveRejectsAndRecovers(t *testing.T) {
+	// A kick at t=1 forces step rejections but integration must finish.
+	kicked := Func{N: 1, F: func(t float64, y, d []float64) {
+		d[0] = -y[0]
+		if t > 1 && t < 1.001 {
+			d[0] += 1e5
+		}
+	}}
+	_, st, err := Adaptive(kicked, 0, 2, []float64{1}, AdaptiveConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected == 0 {
+		t.Log("no rejections observed (acceptable but unexpected)")
+	}
+}
+
+func TestAdaptiveBadInterval(t *testing.T) {
+	if _, _, err := Adaptive(decay, 1, 0, []float64{1}, AdaptiveConfig{}, nil); err == nil {
+		t.Fatal("t1 < t0 must error")
+	}
+	if _, _, err := Adaptive(decay, 0, 1, []float64{1, 2}, AdaptiveConfig{}, nil); err == nil {
+		t.Fatal("wrong state length must error")
+	}
+}
+
+func TestImplicitTrapezoidalAccuracy(t *testing.T) {
+	y, st, err := ImplicitTrapezoidal(decay, 0, 1, 1e-3, []float64{1}, ImplicitConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := y[0], math.Exp(-1); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("y(1) = %v, want %v", got, want)
+	}
+	if st.NewtonIters == 0 || st.JacEvals == 0 {
+		t.Fatalf("implicit stats incomplete: %+v", st)
+	}
+}
+
+func TestImplicitStableOnStiffSystem(t *testing.T) {
+	// h=0.01 is far beyond the explicit-Euler stability bound (2/1000) for
+	// the fast mode; trapezoidal must remain stable and accurate for the
+	// slow mode.
+	y, _, err := ImplicitTrapezoidal(stiffSys, 0, 1, 0.01, []float64{1, 1}, ImplicitConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-math.Exp(-1)) > 1e-4 {
+		t.Fatalf("slow mode y0 = %v, want %v", y[0], math.Exp(-1))
+	}
+	if math.Abs(y[1]) > 1e-3 {
+		t.Fatalf("fast mode must have decayed, got %v", y[1])
+	}
+	// Explicit Euler at the same step must blow up — this is the contrast
+	// that motivates the implicit reference engine.
+	yE, _, errE := FixedStep(stiffSys, 0, 1, 0.01, []float64{1, 1}, EulerStep, nil)
+	if errE == nil && math.Abs(yE[1]) < 1 {
+		t.Fatal("explicit Euler unexpectedly stable on stiff system at h=0.01")
+	}
+}
+
+func TestImplicitTrapezoidalSecondOrder(t *testing.T) {
+	errAt := func(h float64) float64 {
+		y, _, err := ImplicitTrapezoidal(decay, 0, 1, h, []float64{1}, ImplicitConfig{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - math.Exp(-1))
+	}
+	e1, e2 := errAt(0.02), errAt(0.01)
+	order := math.Log2(e1 / e2)
+	if order < 1.7 || order > 2.3 {
+		t.Fatalf("trapezoidal observed order = %v, want ≈2", order)
+	}
+}
+
+func TestImplicitNonlinearSystem(t *testing.T) {
+	// Logistic growth y' = y(1−y), y(0)=0.1; closed form known.
+	logistic := Func{N: 1, F: func(t float64, y, d []float64) { d[0] = y[0] * (1 - y[0]) }}
+	y, _, err := ImplicitTrapezoidal(logistic, 0, 3, 1e-3, []float64{0.1}, ImplicitConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 * math.Exp(3) / (1 - 0.1 + 0.1*math.Exp(3))
+	if math.Abs(y[0]-want) > 1e-6 {
+		t.Fatalf("logistic y(3) = %v, want %v", y[0], want)
+	}
+}
+
+func TestImplicitBadArgs(t *testing.T) {
+	if _, _, err := ImplicitTrapezoidal(decay, 0, 1, 0, []float64{1}, ImplicitConfig{}, nil); err == nil {
+		t.Fatal("zero h must error")
+	}
+	if _, _, err := ImplicitTrapezoidal(decay, 0, 1, 0.1, []float64{1, 2}, ImplicitConfig{}, nil); err == nil {
+		t.Fatal("wrong state length must error")
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{Steps: 1, Rejected: 2, FuncEvals: 3, NewtonIters: 4, JacEvals: 5}
+	b := Stats{Steps: 10, Rejected: 20, FuncEvals: 30, NewtonIters: 40, JacEvals: 50}
+	a.Add(b)
+	if a.Steps != 11 || a.Rejected != 22 || a.FuncEvals != 33 || a.NewtonIters != 44 || a.JacEvals != 55 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,32 @@
+package opt
+
+import "testing"
+
+func BenchmarkNelderMeadRosenbrock(b *testing.B) {
+	bounds := Bounds{Lo: []float64{-2, -2}, Hi: []float64{2, 2}}
+	for i := 0; i < b.N; i++ {
+		if _, err := NelderMead(rosenbrock, bounds, []float64{-1.2, 1}, NelderMeadConfig{MaxIters: 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatedAnnealing(b *testing.B) {
+	bounds := NewBounds(4)
+	obj := sphere([]float64{0.2, -0.3, 0.1, 0.4})
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulatedAnnealing(obj, bounds, AnnealConfig{Iters: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneticAlgorithm(b *testing.B) {
+	bounds := NewBounds(4)
+	obj := sphere([]float64{0.2, -0.3, 0.1, 0.4})
+	for i := 0; i < b.N; i++ {
+		if _, err := GeneticAlgorithm(obj, bounds, GAConfig{Pop: 20, Gens: 20, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

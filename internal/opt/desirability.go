@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Desirability maps a response value onto [0, 1] — the Derringer–Suich
+// approach to multi-response optimization used throughout RSM practice:
+// each indicator gets its own desirability shape, and the design score is
+// their geometric mean, so any completely unacceptable response (d = 0)
+// vetoes the whole design.
+type Desirability interface {
+	// Value returns the desirability of response value y in [0, 1].
+	Value(y float64) float64
+}
+
+// Larger is a larger-is-better desirability: 0 at or below Lo, 1 at or
+// above Hi, with a power ramp (weight s) between.
+type Larger struct {
+	Lo, Hi float64
+	S      float64 // ramp exponent; 0 means 1 (linear)
+}
+
+// Value implements Desirability.
+func (l Larger) Value(y float64) float64 {
+	return ramp((y-l.Lo)/(l.Hi-l.Lo), l.S)
+}
+
+// Smaller is a smaller-is-better desirability: 1 at or below Lo, 0 at or
+// above Hi.
+type Smaller struct {
+	Lo, Hi float64
+	S      float64
+}
+
+// Value implements Desirability.
+func (s Smaller) Value(y float64) float64 {
+	return ramp((s.Hi-y)/(s.Hi-s.Lo), s.S)
+}
+
+// Target is a target-is-best desirability: 1 at T, ramping to 0 at Lo and
+// Hi on either side.
+type Target struct {
+	Lo, T, Hi float64
+	SLo, SHi  float64
+}
+
+// Value implements Desirability.
+func (t Target) Value(y float64) float64 {
+	switch {
+	case y <= t.Lo || y >= t.Hi:
+		return 0
+	case y <= t.T:
+		return ramp((y-t.Lo)/(t.T-t.Lo), t.SLo)
+	default:
+		return ramp((t.Hi-y)/(t.Hi-t.T), t.SHi)
+	}
+}
+
+// ramp clamps x to [0,1] and raises it to the exponent s (1 if s ≤ 0).
+func ramp(x, s float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	if s <= 0 || s == 1 {
+		return x
+	}
+	return math.Pow(x, s)
+}
+
+// CompositeDesirability combines named response evaluators with their
+// desirability shapes into a single objective: the geometric mean
+// D = (Π dᵢ^wᵢ)^{1/Σwᵢ}. Weights ≤ 0 default to 1.
+type CompositeDesirability struct {
+	evals   []Objective
+	shapes  []Desirability
+	weights []float64
+}
+
+// NewComposite builds a composite from parallel slices (one evaluator and
+// one shape per response). weights may be nil for equal weighting.
+func NewComposite(evals []Objective, shapes []Desirability, weights []float64) (*CompositeDesirability, error) {
+	if len(evals) == 0 || len(evals) != len(shapes) {
+		return nil, fmt.Errorf("opt: need matching evaluators and shapes, got %d/%d", len(evals), len(shapes))
+	}
+	if weights != nil && len(weights) != len(evals) {
+		return nil, fmt.Errorf("opt: %d weights for %d responses", len(weights), len(evals))
+	}
+	w := make([]float64, len(evals))
+	for i := range w {
+		w[i] = 1
+		if weights != nil && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+	}
+	return &CompositeDesirability{evals: evals, shapes: shapes, weights: w}, nil
+}
+
+// Score returns the overall desirability D(x) in [0, 1].
+func (c *CompositeDesirability) Score(x []float64) float64 {
+	var logSum, wSum float64
+	for i, ev := range c.evals {
+		d := c.shapes[i].Value(ev(x))
+		if d <= 0 {
+			return 0
+		}
+		logSum += c.weights[i] * math.Log(d)
+		wSum += c.weights[i]
+	}
+	return math.Exp(logSum / wSum)
+}
+
+// Objective returns a minimizing objective (−D) for the optimizers.
+func (c *CompositeDesirability) Objective() Objective {
+	return func(x []float64) float64 { return -c.Score(x) }
+}
+
+// Breakdown returns the individual desirabilities at x (diagnostics for
+// reports).
+func (c *CompositeDesirability) Breakdown(x []float64) []float64 {
+	out := make([]float64, len(c.evals))
+	for i, ev := range c.evals {
+		out[i] = c.shapes[i].Value(ev(x))
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLargerDesirability(t *testing.T) {
+	d := Larger{Lo: 10, Hi: 20}
+	if d.Value(5) != 0 || d.Value(10) != 0 {
+		t.Fatal("below Lo must be 0")
+	}
+	if d.Value(25) != 1 || d.Value(20) != 1 {
+		t.Fatal("above Hi must be 1")
+	}
+	if got := d.Value(15); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("midpoint = %v", got)
+	}
+	// Exponent shapes the ramp.
+	d2 := Larger{Lo: 10, Hi: 20, S: 2}
+	if got := d2.Value(15); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("weighted midpoint = %v", got)
+	}
+}
+
+func TestSmallerDesirability(t *testing.T) {
+	d := Smaller{Lo: 1, Hi: 5}
+	if d.Value(0.5) != 1 || d.Value(1) != 1 {
+		t.Fatal("below Lo must be 1")
+	}
+	if d.Value(5) != 0 || d.Value(9) != 0 {
+		t.Fatal("above Hi must be 0")
+	}
+	if got := d.Value(3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("midpoint = %v", got)
+	}
+}
+
+func TestTargetDesirability(t *testing.T) {
+	d := Target{Lo: 0, T: 5, Hi: 20}
+	if d.Value(5) != 1 {
+		t.Fatal("target must be 1")
+	}
+	if d.Value(-1) != 0 || d.Value(0) != 0 || d.Value(20) != 0 || d.Value(30) != 0 {
+		t.Fatal("outside window must be 0")
+	}
+	if got := d.Value(2.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("left ramp = %v", got)
+	}
+	if got := d.Value(12.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("right ramp = %v", got)
+	}
+}
+
+func TestDesirabilityRangeProperty(t *testing.T) {
+	shapes := []Desirability{
+		Larger{Lo: -1, Hi: 1, S: 2},
+		Smaller{Lo: -1, Hi: 1, S: 0.5},
+		Target{Lo: -1, T: 0, Hi: 1, SLo: 2, SHi: 0.5},
+	}
+	f := func(y float64) bool {
+		for _, s := range shapes {
+			v := s.Value(y)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	ev := Objective(func(x []float64) float64 { return x[0] })
+	if _, err := NewComposite(nil, nil, nil); err == nil {
+		t.Fatal("empty composite must be rejected")
+	}
+	if _, err := NewComposite([]Objective{ev}, []Desirability{Larger{0, 1, 0}, Smaller{0, 1, 0}}, nil); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if _, err := NewComposite([]Objective{ev}, []Desirability{Larger{0, 1, 0}}, []float64{1, 2}); err == nil {
+		t.Fatal("weight mismatch must be rejected")
+	}
+}
+
+func TestCompositeGeometricMean(t *testing.T) {
+	// Two constant responses with desirabilities 0.25 and 1: D = 0.5.
+	evs := []Objective{
+		func(x []float64) float64 { return 0.25 }, // identity ramp below
+		func(x []float64) float64 { return 5 },
+	}
+	shapes := []Desirability{
+		Larger{Lo: 0, Hi: 1}, // d = 0.25
+		Larger{Lo: 0, Hi: 1}, // d = 1
+	}
+	c, err := NewComposite(evs, shapes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Score([]float64{0}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("D = %v, want 0.5", got)
+	}
+	bd := c.Breakdown([]float64{0})
+	if bd[0] != 0.25 || bd[1] != 1 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+}
+
+func TestCompositeVeto(t *testing.T) {
+	evs := []Objective{
+		func(x []float64) float64 { return 100 },
+		func(x []float64) float64 { return -100 }, // totally undesirable
+	}
+	shapes := []Desirability{Larger{Lo: 0, Hi: 1}, Larger{Lo: 0, Hi: 1}}
+	c, err := NewComposite(evs, shapes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Score([]float64{0}) != 0 {
+		t.Fatal("zero desirability must veto the design")
+	}
+}
+
+func TestCompositeWeights(t *testing.T) {
+	evs := []Objective{
+		func(x []float64) float64 { return 0.25 },
+		func(x []float64) float64 { return 1 },
+	}
+	shapes := []Desirability{Larger{Lo: 0, Hi: 1}, Larger{Lo: 0, Hi: 1}}
+	// Heavy weight on the second (perfect) response pulls D up.
+	c, err := NewComposite(evs, shapes, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.25, 0.25) // (0.25^1·1^3)^(1/4)
+	if got := c.Score([]float64{0}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted D = %v, want %v", got, want)
+	}
+}
+
+func TestCompositeOptimization(t *testing.T) {
+	// Response 1 peaks at x=0.3 (maximize), response 2 grows with |x|
+	// (keep small): the compromise sits between 0 and 0.3.
+	evs := []Objective{
+		func(x []float64) float64 { return 1 - (x[0]-0.3)*(x[0]-0.3) },
+		func(x []float64) float64 { return math.Abs(x[0]) },
+	}
+	shapes := []Desirability{
+		Larger{Lo: 0, Hi: 1},
+		Smaller{Lo: 0, Hi: 1},
+	}
+	// With equal weights the gradient balance puts the optimum at x = 0;
+	// weighting the peaked response 3:1 moves the compromise inside
+	// (0, 0.3) — analytic balance point ≈ 0.13.
+	c, err := NewComposite(evs, shapes, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NelderMead(c.Objective(), NewBounds(1), []float64{0.8}, NelderMeadConfig{MaxIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] <= 0.05 || res.X[0] >= 0.3 {
+		t.Fatalf("compromise at %v, want inside (0.05, 0.3)", res.X[0])
+	}
+	if -res.F <= 0.5 {
+		t.Fatalf("composite desirability %v too low", -res.F)
+	}
+}

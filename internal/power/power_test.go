@@ -1,0 +1,263 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func TestMultiplierValidate(t *testing.T) {
+	if err := DefaultMultiplier().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MultiplierParams{
+		{Stages: 0, StageCap: 1e-6, DiodeDrop: 0.2, InputR: 100},
+		{Stages: 3, StageCap: 0, DiodeDrop: 0.2, InputR: 100},
+		{Stages: 3, StageCap: 1e-6, DiodeDrop: -0.1, InputR: 100},
+		{Stages: 3, StageCap: 1e-6, DiodeDrop: 0.2, InputR: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d not rejected", i)
+		}
+	}
+}
+
+func TestOpenCircuitVoltage(t *testing.T) {
+	m := MultiplierParams{Stages: 3, StageCap: 1e-6, DiodeDrop: 0.2, InputR: 100}
+	if got := m.OpenCircuitVoltage(1.0); math.Abs(got-4.8) > 1e-12 {
+		t.Fatalf("Voc(1V) = %v, want 4.8", got)
+	}
+	// Below the diode drop the pump cannot start.
+	if got := m.OpenCircuitVoltage(0.1); got != 0 {
+		t.Fatalf("Voc(0.1V) = %v, want 0", got)
+	}
+}
+
+func TestOutputResistance(t *testing.T) {
+	m := MultiplierParams{Stages: 4, StageCap: 10e-6, DiodeDrop: 0.2, InputR: 100}
+	if got := m.OutputResistance(50); math.Abs(got-8000) > 1e-9 {
+		t.Fatalf("Rout = %v, want 8000", got)
+	}
+	if !math.IsInf(m.OutputResistance(0), 1) {
+		t.Fatal("Rout at f=0 must be +Inf")
+	}
+}
+
+func TestChargeCurrentBlocksReverse(t *testing.T) {
+	m := DefaultMultiplier()
+	// Store above V_oc: diodes block, current is zero, never negative.
+	if got := m.ChargeCurrent(0.5, 50, 100); got != 0 {
+		t.Fatalf("reverse current = %v", got)
+	}
+	// Store below V_oc: positive current proportional to headroom.
+	i1 := m.ChargeCurrent(1.0, 50, 1.0)
+	i2 := m.ChargeCurrent(1.0, 50, 3.0)
+	if i1 <= 0 || i2 <= 0 || i2 >= i1 {
+		t.Fatalf("headroom scaling broken: i(1V)=%v i(3V)=%v", i1, i2)
+	}
+}
+
+func TestChargeCurrentNonNegativeProperty(t *testing.T) {
+	m := DefaultMultiplier()
+	f := func(vin, vstore float64) bool {
+		return m.ChargeCurrent(math.Abs(vin), 50, math.Abs(vstore)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupercapValidateAndEnergy(t *testing.T) {
+	if err := DefaultSupercap().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Supercap{C: 0}).Validate(); err == nil {
+		t.Fatal("zero capacitance must be rejected")
+	}
+	if err := (Supercap{C: 1, LeakR: -1}).Validate(); err == nil {
+		t.Fatal("negative leakage must be rejected")
+	}
+	s := Supercap{C: 0.5}
+	if got := s.Energy(4); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("E = %v, want 4 J", got)
+	}
+}
+
+func TestSupercapStepCharging(t *testing.T) {
+	s := Supercap{C: 1, LeakR: 0}
+	v := s.Step(0, 10, 0.1, 0) // 0.1 A for 10 s into 1 F: +1 V
+	if math.Abs(v-1) > 1e-12 {
+		t.Fatalf("v = %v, want 1", v)
+	}
+	v = s.Step(v, 10, 0, 0.05) // discharge 0.05 A for 10 s: −0.5 V
+	if math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("v = %v, want 0.5", v)
+	}
+}
+
+func TestSupercapLeakageExactDecay(t *testing.T) {
+	s := Supercap{C: 1, LeakR: 100}
+	// τ = 100 s; after 100 s with no external current: v = e^{−1}·v0.
+	v := s.Step(1, 100, 0, 0)
+	if math.Abs(v-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("leak decay v = %v, want e^-1", v)
+	}
+}
+
+func TestSupercapClampsAndFloors(t *testing.T) {
+	s := Supercap{C: 1, VMax: 5}
+	if v := s.Step(4.9, 10, 1, 0); v != 5 {
+		t.Fatalf("overvoltage clamp: v = %v, want 5", v)
+	}
+	if v := s.Step(0.1, 10, 0, 1); v != 0 {
+		t.Fatalf("floor: v = %v, want 0", v)
+	}
+}
+
+func TestSupercapStepNeverNegativeProperty(t *testing.T) {
+	s := DefaultSupercap()
+	f := func(v0, iIn, iOut float64) bool {
+		v := s.Step(math.Abs(v0), 1, math.Abs(iIn), math.Abs(iOut))
+		return v >= 0 && (s.VMax == 0 || v <= s.VMax)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegulatorValidate(t *testing.T) {
+	if err := DefaultRegulator().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Regulator{
+		{VOut: 0, Eff: 0.9, VOn: 2, VOff: 1},
+		{VOut: 1.8, Eff: 0, VOn: 2, VOff: 1},
+		{VOut: 1.8, Eff: 1.5, VOn: 2, VOff: 1},
+		{VOut: 1.8, Eff: 0.9, VOn: 1, VOff: 2},
+		{VOut: 1.8, Eff: 0.9, VOn: 1, VOff: -0.5},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d not rejected", i)
+		}
+	}
+}
+
+func TestRegulatorUVLOHysteresis(t *testing.T) {
+	r := Regulator{VOut: 1.8, Eff: 0.85, VOn: 2.8, VOff: 2.4}
+	// Disabled, rising: enables only at VOn.
+	if r.NextEnabled(false, 2.5) {
+		t.Fatal("must stay off below VOn")
+	}
+	if !r.NextEnabled(false, 2.8) {
+		t.Fatal("must enable at VOn")
+	}
+	// Enabled, falling: stays on until VOff.
+	if !r.NextEnabled(true, 2.5) {
+		t.Fatal("must stay on above VOff")
+	}
+	if r.NextEnabled(true, 2.4) {
+		t.Fatal("must drop out at VOff")
+	}
+}
+
+func TestRegulatorInputCurrent(t *testing.T) {
+	r := Regulator{VOut: 1.8, Eff: 0.9, VOn: 2.8, VOff: 2.4}
+	// 9 mW load from a 3 V store at 90 %: i = 0.009/(0.9·3) = 3.33 mA.
+	got := r.InputCurrent(true, 3, 9e-3)
+	if math.Abs(got-9e-3/(0.9*3)) > 1e-15 {
+		t.Fatalf("i = %v", got)
+	}
+	if r.InputCurrent(false, 3, 9e-3) != 0 {
+		t.Fatal("disabled regulator must draw nothing")
+	}
+	if r.InputCurrent(true, 0, 9e-3) != 0 {
+		t.Fatal("empty store must draw nothing")
+	}
+	if r.InputCurrent(true, 3, 0) != 0 {
+		t.Fatal("zero load must draw nothing")
+	}
+}
+
+func TestBuildMultiplierCircuitChargesStore(t *testing.T) {
+	// A 3-stage cascade from a 1.5 V EMF behind 1.2 kΩ must pump the store
+	// well above the input amplitude. Pump caps are sized (100 nF) so the
+	// pump input impedance 1/(2Nf·C) ≈ 33 kΩ dwarfs the coil resistance —
+	// undersized pump caps would drop most of the EMF across the coil.
+	emf := circuit.Sin(1.5, 50, 0, 0)
+	c, storeNode, err := BuildMultiplierCircuit(3, 100e-9, circuit.Schottky(), 1200, emf, 4.7e-6, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(6.0, 5e-5, circuit.TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.VoltageAt(storeNode)
+	final := v[len(v)-1]
+	if final < 2.5 {
+		t.Fatalf("store only reached %v V; multiplier not pumping", final)
+	}
+	// Monotone non-decreasing store voltage (no load, ideal diodes block).
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1]-1e-3 {
+			t.Fatalf("store voltage dropped at sample %d: %v → %v", i, v[i-1], v[i])
+		}
+	}
+}
+
+func TestBuildMultiplierMoreStagesMoreVoltage(t *testing.T) {
+	// Compare asymptotic (lightly loaded, low source impedance) outputs so
+	// the stage count — not the charging time constant — dominates.
+	run := func(stages int) float64 {
+		emf := circuit.Sin(1.5, 50, 0, 0)
+		c, storeNode, err := BuildMultiplierCircuit(stages, 1e-6, circuit.Schottky(), 1, emf, 1e-6, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Transient(1.5, 5e-5, circuit.TransientConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := res.VoltageAt(storeNode)
+		return v[len(v)-1]
+	}
+	v2, v4 := run(2), run(4)
+	if v4 <= v2 {
+		t.Fatalf("4-stage (%v V) must out-pump 2-stage (%v V)", v4, v2)
+	}
+}
+
+func TestBuildMultiplierCircuitValidation(t *testing.T) {
+	if _, _, err := BuildMultiplierCircuit(0, 1e-6, circuit.Schottky(), 100, circuit.DC(0), 1e-6, 0, 0); err == nil {
+		t.Fatal("zero stages must error")
+	}
+}
+
+func TestBehaviouralVsCircuitShape(t *testing.T) {
+	// The behavioural model's open-circuit prediction should be within a
+	// factor ~2 of the full MNA cascade (diode drops and incomplete
+	// settling account for the gap). This anchors the fast path to the
+	// reference, matching ablation A5 in DESIGN.md.
+	const stages = 3
+	const vin = 1.5
+	emf := circuit.Sin(vin, 50, 0, 0)
+	c, storeNode, err := BuildMultiplierCircuit(stages, 10e-6, circuit.Schottky(), 1, emf, 10e-6, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(4.0, 5e-5, circuit.TransientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.VoltageAt(storeNode)
+	full := v[len(v)-1]
+	m := MultiplierParams{Stages: stages, StageCap: 10e-6, DiodeDrop: 0.22, InputR: 4000}
+	behav := m.OpenCircuitVoltage(vin)
+	if full < behav/2 || full > behav*2 {
+		t.Fatalf("behavioural Voc %v vs circuit %v: more than 2× apart", behav, full)
+	}
+}

@@ -1,0 +1,246 @@
+// Package report renders the reproduction experiments' tables and figure
+// series as aligned text and CSV — the output format of cmd/experiments
+// and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line rendered under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// formatFloat renders a float compactly: %.4g with trailing noise trimmed.
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var total int
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Series is one named data series of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a titled collection of series sharing an x axis meaning.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series; x and y must have equal length.
+func (f *Figure) Add(name string, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("report: series %q has %d x but %d y", name, len(x), len(y))
+	}
+	f.Series = append(f.Series, Series{Name: name, X: append([]float64(nil), x...), Y: append([]float64(nil), y...)})
+	return nil
+}
+
+// AddNote appends a footnote.
+func (f *Figure) AddNote(format string, args ...interface{}) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the figure as aligned columns: x followed by one column
+// per series (rows unioned over all x values in first-series order).
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	fmt.Fprintf(&b, "# x = %s, y = %s\n", f.XLabel, f.YLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-14s", s.Name)
+	}
+	b.WriteByte('\n')
+	// Assume shared x (the common case); if series lengths differ, render
+	// each up to its own length.
+	n := 0
+	for _, s := range f.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var x float64
+		seen := false
+		for _, s := range f.Series {
+			if i < len(s.X) {
+				x = s.X[i]
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			break
+		}
+		fmt.Fprintf(&b, "%-12.5g", x)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "  %-14.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "  %-14s", "")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, note := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as CSV with an x column and one column per
+// series.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	writeCSVRow(&b, headers)
+	n := 0
+	for _, s := range f.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(f.Series)+1)
+		var x float64
+		for _, s := range f.Series {
+			if i < len(s.X) {
+				x = s.X[i]
+				break
+			}
+		}
+		row = append(row, formatFloat(x))
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatFloat(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}

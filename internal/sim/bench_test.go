@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/tuner"
+	"repro/internal/vibration"
+)
+
+func benchSource(d Design) vibration.Source {
+	return vibration.Sine{Amplitude: 0.6, Freq: d.Harv.ResonantFreq(d.Harv.GapMax)}
+}
+
+// BenchmarkRunFast measures one second of simulated time on the fast
+// linearized state-space engine (the unit of cost for every DoE run).
+func BenchmarkRunFast(b *testing.B) {
+	d := DefaultDesign()
+	cfg := Config{Horizon: 1, Source: benchSource(d)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFast(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunReference measures the same second on the Newton-Raphson
+// reference engine — the denominator of the paper's speedup claim.
+func BenchmarkRunReference(b *testing.B) {
+	d := DefaultDesign()
+	cfg := Config{Horizon: 1, Source: benchSource(d)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReference(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFastTuned adds the tuning controller (estimator + actuator +
+// occasional state-space rebuilds).
+func BenchmarkRunFastTuned(b *testing.B) {
+	d := DefaultDesign()
+	tc := tuner.DefaultConfig()
+	tc.Interval = 0.2
+	d.Tuner = &tc
+	cfg := Config{Horizon: 1, Source: benchSource(d)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFast(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

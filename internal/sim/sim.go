@@ -1,0 +1,485 @@
+// Package sim couples every substrate into the complete
+// harvester-powered-sensor-node transient simulator: vibration source →
+// tunable electromagnetic harvester → voltage multiplier → supercapacitor →
+// regulator → duty-cycled node, with the tuning controller closing the loop
+// from the coil EMF back to the magnet gap.
+//
+// Two engines integrate the fast electromechanical dynamics:
+//
+//   - RunReference — the "traditional analogue simulation" path: implicit
+//     trapezoidal integration with a damped Newton–Raphson solve (and a
+//     finite-difference Jacobian) at every sub-step. Accurate, and slow in
+//     exactly the way the paper says HDL/SPICE simulation is slow.
+//   - RunFast — the explicit linearized state-space technique of companion
+//     paper [4]: the piecewise-linear system (free / end-stop contact
+//     regions) is discretized exactly per region with a zero-order-hold
+//     matrix exponential, so each step is one small mat-vec. This is the
+//     engine that makes building response surfaces affordable.
+//
+// Both engines share the identical slow side (multiplier, store, regulator,
+// node, tuner), so their outputs differ only by integration error — the
+// basis of reproduction experiment R-T1.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/harvester"
+	"repro/internal/la"
+	"repro/internal/node"
+	"repro/internal/ode"
+	"repro/internal/power"
+	"repro/internal/tuner"
+	"repro/internal/vibration"
+)
+
+// Design is one point of the design space: the complete parameterization of
+// the harvester-powered node. The DoE factors of DESIGN.md map onto fields
+// of this struct.
+type Design struct {
+	Harv   harvester.Params
+	Mult   power.MultiplierParams
+	Store  power.Supercap
+	Reg    power.Regulator
+	Node   node.Config
+	Policy node.Policy
+	Link   node.LinkConfig // radio channel; zero value = ideal lossless link
+	Tuner  *tuner.Config   // nil disables resonance tuning
+
+	InitialGap    float64 // starting magnet gap (0 → GapMax, i.e. untuned)
+	InitialStoreV float64 // supercap voltage at t = 0
+}
+
+// DefaultDesign returns the reference design: default harvester, 5-stage
+// pump, 0.4 F store pre-charged to 3 V, threshold energy manager.
+func DefaultDesign() Design {
+	return Design{
+		Harv:          harvester.Default(),
+		Mult:          power.DefaultMultiplier(),
+		Store:         power.DefaultSupercap(),
+		Reg:           power.DefaultRegulator(),
+		Node:          node.Default(),
+		Policy:        node.ThresholdPolicy{VThreshold: 3.0},
+		Tuner:         nil,
+		InitialGap:    0,
+		InitialStoreV: 3.0,
+	}
+}
+
+// Validate checks the whole design.
+func (d Design) Validate() error {
+	if err := d.Harv.Validate(); err != nil {
+		return err
+	}
+	if err := d.Mult.Validate(); err != nil {
+		return err
+	}
+	if err := d.Store.Validate(); err != nil {
+		return err
+	}
+	if err := d.Reg.Validate(); err != nil {
+		return err
+	}
+	if err := d.Node.Validate(); err != nil {
+		return err
+	}
+	if d.Policy == nil {
+		return fmt.Errorf("sim: design needs an energy-manager policy")
+	}
+	if err := d.Link.Validate(); err != nil {
+		return err
+	}
+	if d.Tuner != nil {
+		if err := d.Tuner.Validate(); err != nil {
+			return err
+		}
+	}
+	if d.InitialStoreV < 0 {
+		return fmt.Errorf("sim: initial store voltage %g must be non-negative", d.InitialStoreV)
+	}
+	return nil
+}
+
+// Config controls a simulation run.
+type Config struct {
+	Horizon float64          // simulated duration (s)
+	DtSlow  float64          // slow-side step = fast-engine step (default 1 ms)
+	DtRef   float64          // reference-engine sub-step (default 50 µs)
+	Source  vibration.Source // excitation; required
+
+	RecordWaveforms bool // keep decimated waveforms for figures
+	Decimate        int  // record every k-th slow step (default 10)
+}
+
+func (c *Config) defaults() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sim: horizon %g must be positive", c.Horizon)
+	}
+	if c.Source == nil {
+		return fmt.Errorf("sim: a vibration source is required")
+	}
+	if c.DtSlow <= 0 {
+		c.DtSlow = 1e-3
+	}
+	if c.DtRef <= 0 {
+		c.DtRef = 5e-5
+	}
+	if c.Decimate <= 0 {
+		c.Decimate = 10
+	}
+	return nil
+}
+
+// Result carries the performance indicators (the DoE responses) plus work
+// metrics and optional waveforms.
+type Result struct {
+	// Energy-side responses.
+	HarvestedEnergy   float64 // energy delivered into the store (J)
+	AvgHarvestedPower float64 // HarvestedEnergy / Horizon (W)
+	ConsumedEnergy    float64 // energy drawn from the store by node + tuner (J)
+	NodeEnergy        float64 // share drawn through the regulator for the node (J)
+	LeakEnergy        float64 // energy lost to supercap self-discharge (J)
+	NetEnergyMargin   float64 // harvested − consumed (J)
+	StoredEnergyEnd   float64 // ½CV² at the horizon (J)
+	FinalStoreV       float64 // store voltage at the horizon (V)
+
+	// Node-side responses.
+	Node           node.Counters
+	UptimeFraction float64 // powered time / horizon
+
+	// Tuner-side responses.
+	TuneEnergy     float64 // actuator energy (J)
+	TuneMoves      int
+	TuneInBandFrac float64
+	FinalResFreq   float64 // harvester resonance at the horizon (Hz)
+
+	// Work metrics for the speed tables.
+	Steps       int           // fast-dynamics integration steps
+	NewtonIters int           // Newton iterations (reference engine only)
+	FuncEvals   int           // RHS evaluations (reference engine only)
+	Elapsed     time.Duration // wall-clock time of the run
+
+	// Optional decimated waveforms (RecordWaveforms).
+	T       []float64 // sample times (s)
+	StoreV  []float64 // store voltage (V)
+	Disp    []float64 // proof-mass displacement (m)
+	EMF     []float64 // coil EMF (V)
+	ResFreq []float64 // harvester resonance (Hz)
+}
+
+// slowSide is the part of the system identical across both engines: the
+// envelope detector, multiplier, store, regulator, node and tuner.
+type slowSide struct {
+	d      Design
+	nd     *node.Node
+	ctrl   *tuner.Controller
+	gap    float64
+	vs     float64
+	regOn  bool
+	env    float64 // EMF amplitude envelope (V)
+	envTau float64
+
+	harvested float64
+	consumed  float64
+	nodeDrawn float64
+	leaked    float64
+}
+
+func newSlowSide(d Design) (*slowSide, error) {
+	nd, err := node.NewWithLink(d.Node, d.Policy, d.Link)
+	if err != nil {
+		return nil, err
+	}
+	gap := d.InitialGap
+	if gap == 0 {
+		gap = d.Harv.GapMax
+	}
+	gap = d.Harv.ClampGap(gap)
+	s := &slowSide{
+		d:      d,
+		nd:     nd,
+		gap:    gap,
+		vs:     d.InitialStoreV,
+		envTau: 0.05, // a few vibration cycles
+	}
+	if d.Tuner != nil {
+		ctrl, err := tuner.New(*d.Tuner, d.Harv, gap)
+		if err != nil {
+			return nil, err
+		}
+		s.ctrl = ctrl
+	}
+	return s, nil
+}
+
+// step advances the slow side by dt given the coil EMF sample and the
+// current excitation frequency (the charge pump's operating frequency). It
+// returns the magnet gap for the next fast-dynamics step.
+func (s *slowSide) step(dt, emf, excFreq float64) float64 {
+	// EMF envelope (peak detector with exponential release).
+	decay := math.Exp(-dt / s.envTau)
+	s.env *= decay
+	if a := math.Abs(emf); a > s.env {
+		s.env = a
+	}
+
+	// Multiplier: EMF behind the coil resistance drives the pump input.
+	vin := s.env * s.d.Mult.InputR / (s.d.Harv.CoilR + s.d.Mult.InputR)
+	ichg := s.d.Mult.ChargeCurrent(vin, excFreq, s.vs)
+	s.harvested += ichg * s.vs * dt
+
+	// Tuner draws actuator power straight from the store.
+	var iTune float64
+	if s.ctrl != nil {
+		p := s.ctrl.Step(dt, emf, s.vs)
+		if p > 0 && s.vs > 0 {
+			iTune = p / s.vs
+		}
+		s.gap = s.ctrl.Gap()
+	}
+
+	// Regulator UVLO and node activity.
+	s.regOn = s.d.Reg.NextEnabled(s.regOn, s.vs)
+	iRail := s.nd.Step(dt, s.regOn, s.vs)
+	pLoad := iRail * s.d.Node.VRail
+	iReg := s.d.Reg.InputCurrent(s.regOn, s.vs, pLoad)
+
+	s.consumed += (iReg + iTune) * s.vs * dt
+	s.nodeDrawn += iReg * s.vs * dt
+	if s.d.Store.LeakR > 0 {
+		s.leaked += s.vs * s.vs / s.d.Store.LeakR * dt
+	}
+	s.vs = s.d.Store.Step(s.vs, dt, ichg, iReg+iTune)
+	return s.gap
+}
+
+// finish assembles the shared responses into res.
+func (s *slowSide) finish(res *Result, horizon float64) {
+	res.HarvestedEnergy = s.harvested
+	res.AvgHarvestedPower = s.harvested / horizon
+	res.ConsumedEnergy = s.consumed
+	res.NodeEnergy = s.nodeDrawn
+	res.LeakEnergy = s.leaked
+	res.NetEnergyMargin = s.harvested - s.consumed
+	res.FinalStoreV = s.vs
+	res.StoredEnergyEnd = s.d.Store.Energy(s.vs)
+	res.Node = s.nd.Counters()
+	res.UptimeFraction = res.Node.UpTime / horizon
+	if s.ctrl != nil {
+		res.TuneEnergy = s.ctrl.Energy()
+		res.TuneMoves = s.ctrl.Moves()
+		res.TuneInBandFrac = s.ctrl.InBandFraction()
+	}
+	res.FinalResFreq = s.d.Harv.ResonantFreq(s.gap)
+}
+
+// recorder captures decimated waveforms.
+type recorder struct {
+	cfg   Config
+	d     Design
+	count int
+	res   *Result
+}
+
+func (r *recorder) record(t, vs, x, emf, gap float64) {
+	if !r.cfg.RecordWaveforms {
+		return
+	}
+	if r.count%r.cfg.Decimate == 0 {
+		r.res.T = append(r.res.T, t)
+		r.res.StoreV = append(r.res.StoreV, vs)
+		r.res.Disp = append(r.res.Disp, x)
+		r.res.EMF = append(r.res.EMF, emf)
+		r.res.ResFreq = append(r.res.ResFreq, r.d.Harv.ResonantFreq(gap))
+	}
+	r.count++
+}
+
+// region identifies the piecewise-linear regime of the end-stop.
+type region int
+
+const (
+	regionFree region = iota
+	regionUpper
+	regionLower
+)
+
+func regionOf(x, limit float64) region {
+	switch {
+	case x > limit:
+		return regionUpper
+	case x < -limit:
+		return regionLower
+	default:
+		return regionFree
+	}
+}
+
+// fastModel caches the ZOH-discretized update matrices per region for the
+// current gap. State y = [x, v, i]; input u = [accel, 1] (the constant
+// channel carries the end-stop offset force).
+type fastModel struct {
+	h     harvester.Params
+	rin   float64
+	dt    float64
+	gap   float64
+	ad    [3]*la.Matrix
+	bd    [3]*la.Matrix
+	built bool
+}
+
+func (m *fastModel) rebuild(gap float64) error {
+	m.gap = gap
+	k := m.h.EffectiveStiffness(gap)
+	l := m.h.CoilL
+	if l <= 0 {
+		l = 1e-3 // tiny-but-finite inductance keeps the 3-state form uniform
+	}
+	rTot := m.h.CoilR + m.rin
+	build := func(kEff, fOff float64) (*la.Matrix, *la.Matrix, error) {
+		a := la.NewMatrixFrom(3, 3, []float64{
+			0, 1, 0,
+			-kEff / m.h.Mass, -m.h.DampingC / m.h.Mass, -m.h.Gamma / m.h.Mass,
+			0, m.h.Gamma / l, -rTot / l,
+		})
+		b := la.NewMatrixFrom(3, 2, []float64{
+			0, 0,
+			-1, fOff / m.h.Mass,
+			0, 0,
+		})
+		return la.DiscretizeZOH(a, b, m.dt)
+	}
+	var err error
+	if m.ad[regionFree], m.bd[regionFree], err = build(k, 0); err != nil {
+		return err
+	}
+	// In contact: stop spring adds stiffness and a constant restoring
+	// offset ±StopK·MaxDisp.
+	if m.ad[regionUpper], m.bd[regionUpper], err = build(k+m.h.StopK, m.h.StopK*m.h.MaxDisp); err != nil {
+		return err
+	}
+	if m.ad[regionLower], m.bd[regionLower], err = build(k+m.h.StopK, -m.h.StopK*m.h.MaxDisp); err != nil {
+		return err
+	}
+	m.built = true
+	return nil
+}
+
+// step performs one explicit linearized update: y ← Ad·y + Bd·u.
+func (m *fastModel) step(y []float64, accel float64) {
+	r := regionOf(y[0], m.h.MaxDisp)
+	ad, bd := m.ad[r], m.bd[r]
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		out[i] = ad.At(i, 0)*y[0] + ad.At(i, 1)*y[1] + ad.At(i, 2)*y[2] +
+			bd.At(i, 0)*accel + bd.At(i, 1)
+	}
+	y[0], y[1], y[2] = out[0], out[1], out[2]
+}
+
+// RunFast simulates the design with the explicit linearized state-space
+// engine.
+func RunFast(d Design, cfg Config) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	slow, err := newSlowSide(d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	rec := &recorder{cfg: cfg, d: d, res: res}
+
+	model := &fastModel{h: d.Harv, rin: d.Mult.InputR, dt: cfg.DtSlow}
+	if err := model.rebuild(slow.gap); err != nil {
+		return nil, err
+	}
+	// Resonance granularity below which a gap change does not justify a
+	// matrix rebuild (Hz).
+	const rebuildTolHz = 0.05
+
+	y := []float64{0, 0, 0} // x, v, i
+	nSteps := int(math.Ceil(cfg.Horizon / cfg.DtSlow))
+	for k := 0; k < nSteps; k++ {
+		t := float64(k) * cfg.DtSlow
+		// Midpoint sampling of the excitation halves the ZOH phase error.
+		accel := cfg.Source.Accel(t + cfg.DtSlow/2)
+		model.step(y, accel)
+		res.Steps++
+
+		emf := d.Harv.EMF(y[1])
+		gap := slow.step(cfg.DtSlow, emf, cfg.Source.DominantFreq(t))
+		if math.Abs(d.Harv.ResonantFreq(gap)-d.Harv.ResonantFreq(model.gap)) > rebuildTolHz {
+			if err := model.rebuild(gap); err != nil {
+				return nil, err
+			}
+		}
+		rec.record(t+cfg.DtSlow, slow.vs, y[0], emf, gap)
+	}
+	slow.finish(res, cfg.Horizon)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunReference simulates the design with the implicit trapezoidal
+// Newton–Raphson engine, sub-stepping each slow interval at cfg.DtRef.
+func RunReference(d Design, cfg Config) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	slow, err := newSlowSide(d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	rec := &recorder{cfg: cfg, d: d, res: res}
+
+	l := d.Harv.CoilL
+	if l <= 0 {
+		l = 1e-3
+	}
+	rTot := d.Harv.CoilR + d.Mult.InputR
+	gap := slow.gap
+	var tBase float64
+	sys := ode.Func{N: 3, F: func(tt float64, y, dy []float64) {
+		a := cfg.Source.Accel(tBase + tt)
+		k := d.Harv.EffectiveStiffness(gap)
+		dy[0] = y[1]
+		dy[1] = (-k*y[0] - d.Harv.DampingC*y[1] - d.Harv.StopForce(y[0]) -
+			d.Harv.Gamma*y[2] - d.Harv.Mass*a) / d.Harv.Mass
+		dy[2] = (d.Harv.Gamma*y[1] - rTot*y[2]) / l
+	}}
+
+	y := []float64{0, 0, 0}
+	icfg := ode.ImplicitConfig{}
+	nSteps := int(math.Ceil(cfg.Horizon / cfg.DtSlow))
+	for k := 0; k < nSteps; k++ {
+		t := float64(k) * cfg.DtSlow
+		tBase = t
+		yEnd, st, err := ode.ImplicitTrapezoidal(sys, 0, cfg.DtSlow, cfg.DtRef, y, icfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sim: reference engine failed at t=%g: %w", t, err)
+		}
+		copy(y, yEnd)
+		res.Steps += st.Steps
+		res.NewtonIters += st.NewtonIters
+		res.FuncEvals += st.FuncEvals
+
+		emf := d.Harv.EMF(y[1])
+		gap = slow.step(cfg.DtSlow, emf, cfg.Source.DominantFreq(t))
+		rec.record(t+cfg.DtSlow, slow.vs, y[0], emf, gap)
+	}
+	slow.finish(res, cfg.Horizon)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+)
+
+// GoertzelEstimator estimates the dominant frequency of the coil EMF by
+// evaluating a bank of Goertzel filters (single-bin DFTs) over a sliding
+// window and picking the strongest bin, refined by parabolic interpolation
+// between neighbours. It is more robust to additive noise than
+// zero-crossing counting, at the cost of a bank of multiply-accumulates
+// per sample — the trade a production tuning controller would weigh.
+type GoertzelEstimator struct {
+	fmin, fmax float64
+	bins       int
+	window     float64
+
+	samples  []float64
+	dts      []float64
+	elapsed  float64
+	lastFreq float64
+	haveFreq bool
+}
+
+// NewGoertzelEstimator builds an estimator scanning [fmin, fmax] Hz with
+// the given number of bins over windows of the given duration.
+func NewGoertzelEstimator(fmin, fmax float64, bins int, window float64) (*GoertzelEstimator, error) {
+	if fmin <= 0 || fmax <= fmin {
+		return nil, fmt.Errorf("tuner: bad Goertzel band [%g, %g]", fmin, fmax)
+	}
+	if bins < 3 {
+		return nil, fmt.Errorf("tuner: need ≥3 Goertzel bins, got %d", bins)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("tuner: window %g must be positive", window)
+	}
+	return &GoertzelEstimator{fmin: fmin, fmax: fmax, bins: bins, window: window}, nil
+}
+
+// AddSample feeds one EMF sample taken dt seconds after the previous one.
+func (g *GoertzelEstimator) AddSample(dt, v float64) {
+	if dt <= 0 {
+		return
+	}
+	g.samples = append(g.samples, v)
+	g.dts = append(g.dts, dt)
+	g.elapsed += dt
+	if g.elapsed >= g.window {
+		g.analyze()
+		g.samples = g.samples[:0]
+		g.dts = g.dts[:0]
+		g.elapsed = 0
+	}
+}
+
+// analyze runs the filter bank over the buffered window. Sampling is
+// assumed near-uniform (the simulator's fixed slow step); the mean dt sets
+// the sample rate.
+func (g *GoertzelEstimator) analyze() {
+	n := len(g.samples)
+	if n < 8 {
+		return
+	}
+	var dtSum float64
+	for _, d := range g.dts {
+		dtSum += d
+	}
+	fs := float64(n) / dtSum
+
+	power := make([]float64, g.bins)
+	freqs := make([]float64, g.bins)
+	for b := 0; b < g.bins; b++ {
+		f := g.fmin + (g.fmax-g.fmin)*float64(b)/float64(g.bins-1)
+		freqs[b] = f
+		// Goertzel recurrence for one bin.
+		w := 2 * math.Pi * f / fs
+		coeff := 2 * math.Cos(w)
+		var s0, s1, s2 float64
+		for _, x := range g.samples {
+			s0 = x + coeff*s1 - s2
+			s2 = s1
+			s1 = s0
+		}
+		power[b] = s1*s1 + s2*s2 - coeff*s1*s2
+	}
+	best := 0
+	for b := range power {
+		if power[b] > power[best] {
+			best = b
+		}
+	}
+	f := freqs[best]
+	// Parabolic interpolation around the peak bin.
+	if best > 0 && best < g.bins-1 {
+		pm, p0, pp := power[best-1], power[best], power[best+1]
+		den := pm - 2*p0 + pp
+		if den != 0 {
+			delta := 0.5 * (pm - pp) / den
+			if delta > -1 && delta < 1 {
+				step := (g.fmax - g.fmin) / float64(g.bins-1)
+				f += delta * step
+			}
+		}
+	}
+	g.lastFreq = f
+	g.haveFreq = true
+}
+
+// Freq returns the latest estimate; ok is false until a full window has
+// been analyzed.
+func (g *GoertzelEstimator) Freq() (float64, bool) {
+	return g.lastFreq, g.haveFreq
+}

@@ -1,0 +1,264 @@
+// Package tuner implements the resonance-tuning controller of the tunable
+// harvester: a zero-crossing frequency estimator observing the coil EMF, a
+// linear actuator that moves the tuning magnet (changing the gap and hence
+// the resonant frequency), and the closed-loop control policy from the
+// companion paper [2] — periodically estimate the dominant excitation
+// frequency, and when it has moved outside a deadband, drive the actuator
+// toward the gap whose resonance matches it.
+//
+// Tuning is not free: the actuator draws ActuatorPower from the
+// supercapacitor while moving, so aggressive tuning (small deadband, fast
+// re-checks) trades stored energy for resonance match — one of the
+// trade-offs the DoE flow quantifies.
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/harvester"
+)
+
+// ZeroCrossingEstimator estimates the dominant frequency of a signal by
+// counting rising zero crossings over a sliding window, the standard
+// low-cost technique used by harvester tuning controllers.
+type ZeroCrossingEstimator struct {
+	Window float64 // observation window (s)
+
+	prevSample float64
+	havePrev   bool
+	elapsed    float64
+	crossings  int
+	lastFreq   float64
+	haveFreq   bool
+}
+
+// NewZeroCrossingEstimator returns an estimator with the given window.
+func NewZeroCrossingEstimator(window float64) (*ZeroCrossingEstimator, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("tuner: window %g must be positive", window)
+	}
+	return &ZeroCrossingEstimator{Window: window}, nil
+}
+
+// AddSample feeds one signal sample taken dt seconds after the previous
+// one. When a full window has elapsed, the frequency estimate is updated.
+func (z *ZeroCrossingEstimator) AddSample(dt, v float64) {
+	if dt <= 0 {
+		return
+	}
+	if z.havePrev && z.prevSample <= 0 && v > 0 {
+		z.crossings++
+	}
+	z.prevSample = v
+	z.havePrev = true
+	z.elapsed += dt
+	if z.elapsed >= z.Window {
+		z.lastFreq = float64(z.crossings) / z.elapsed
+		z.haveFreq = true
+		z.elapsed = 0
+		z.crossings = 0
+	}
+}
+
+// Freq returns the latest frequency estimate in Hz; ok is false until the
+// first full window has been observed.
+func (z *ZeroCrossingEstimator) Freq() (f float64, ok bool) {
+	return z.lastFreq, z.haveFreq
+}
+
+// Estimator is the frequency-estimation strategy the controller consults:
+// both ZeroCrossingEstimator (cheap, noise-sensitive) and
+// GoertzelEstimator (a filter bank, noise-robust) satisfy it.
+type Estimator interface {
+	// AddSample feeds one EMF sample taken dt seconds after the previous.
+	AddSample(dt, v float64)
+	// Freq returns the latest estimate; ok is false before the first
+	// complete observation window.
+	Freq() (f float64, ok bool)
+}
+
+// Config sets the tuning-controller behaviour.
+type Config struct {
+	Interval      float64 // time between tuning decisions (s)
+	DeadbandHz    float64 // no action when |f_est − f_res| is below this
+	MaxStepHz     float64 // largest resonance change per decision (Hz); 0 = unlimited
+	ActuatorPower float64 // electrical power drawn while the actuator moves (W)
+	ActuatorSpeed float64 // gap slew rate (m/s)
+	EstimatorWin  float64 // estimator window (s)
+	MinStoreV     float64 // suspend tuning when the store is below this (V)
+
+	// Estimator overrides the default zero-crossing estimator (e.g. with a
+	// GoertzelEstimator). When nil, a ZeroCrossingEstimator with
+	// EstimatorWin is used. The override's own window configuration wins.
+	Estimator Estimator
+}
+
+// DefaultConfig returns a controller matching the published device class:
+// check every 10 s, ±0.5 Hz deadband, and a leadscrew-type linear actuator
+// (5 mW while moving at 0.5 mm/s, holding position for free) — the
+// mechanism that makes tuning energy pay back within minutes rather than
+// hours. Tuning is suspended below 2.5 V so the actuator cannot brown the
+// node out.
+func DefaultConfig() Config {
+	return Config{
+		Interval:      10,
+		DeadbandHz:    0.5,
+		MaxStepHz:     0, // unlimited
+		ActuatorPower: 5e-3,
+		ActuatorSpeed: 0.5e-3,
+		EstimatorWin:  1.0,
+		MinStoreV:     2.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("tuner: interval %g must be positive", c.Interval)
+	case c.DeadbandHz < 0:
+		return fmt.Errorf("tuner: deadband %g must be non-negative", c.DeadbandHz)
+	case c.MaxStepHz < 0:
+		return fmt.Errorf("tuner: max step %g must be non-negative", c.MaxStepHz)
+	case c.ActuatorPower < 0:
+		return fmt.Errorf("tuner: actuator power %g must be non-negative", c.ActuatorPower)
+	case c.ActuatorSpeed <= 0:
+		return fmt.Errorf("tuner: actuator speed %g must be positive", c.ActuatorSpeed)
+	case c.EstimatorWin <= 0:
+		return fmt.Errorf("tuner: estimator window %g must be positive", c.EstimatorWin)
+	case c.MinStoreV < 0:
+		return fmt.Errorf("tuner: minimum store voltage %g must be non-negative", c.MinStoreV)
+	}
+	return nil
+}
+
+// Controller is the closed-loop tuning state machine.
+type Controller struct {
+	cfg  Config
+	harv harvester.Params
+	est  Estimator
+
+	gap       float64 // current magnet gap (m)
+	targetGap float64 // actuator destination (m)
+	moving    bool
+	sinceDec  float64 // time since the last decision (s)
+
+	energy     float64 // actuator energy consumed (J)
+	decisions  int     // tuning decisions taken
+	moves      int     // actuator movements commanded
+	timeInBand float64 // cumulative time with |f_est − f_res| ≤ deadband
+	timeTotal  float64
+}
+
+// New builds a controller for the given harvester starting at gap0.
+func New(cfg Config, h harvester.Params, gap0 float64) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	est := cfg.Estimator
+	if est == nil {
+		zc, err := NewZeroCrossingEstimator(cfg.EstimatorWin)
+		if err != nil {
+			return nil, err
+		}
+		est = zc
+	}
+	g := h.ClampGap(gap0)
+	return &Controller{cfg: cfg, harv: h, est: est, gap: g, targetGap: g}, nil
+}
+
+// Gap returns the current tuning-magnet gap (m).
+func (c *Controller) Gap() float64 { return c.gap }
+
+// ResonantFreq returns the harvester resonance at the current gap (Hz).
+func (c *Controller) ResonantFreq() float64 { return c.harv.ResonantFreq(c.gap) }
+
+// Energy returns the total actuator energy consumed so far (J).
+func (c *Controller) Energy() float64 { return c.energy }
+
+// Decisions returns the number of tuning decisions taken.
+func (c *Controller) Decisions() int { return c.decisions }
+
+// Moves returns the number of actuator movements commanded.
+func (c *Controller) Moves() int { return c.moves }
+
+// InBandFraction returns the fraction of elapsed time the resonance was
+// within the deadband of the estimated excitation frequency.
+func (c *Controller) InBandFraction() float64 {
+	if c.timeTotal == 0 {
+		return 0
+	}
+	return c.timeInBand / c.timeTotal
+}
+
+// Step advances the controller by dt. emfSample is the instantaneous coil
+// EMF (the estimator's input); vstore the supercapacitor voltage. It
+// returns the electrical power (W) the actuator drew during this slice.
+func (c *Controller) Step(dt, emfSample, vstore float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	c.est.AddSample(dt, emfSample)
+	c.timeTotal += dt
+	if f, ok := c.est.Freq(); ok {
+		if math.Abs(f-c.harv.ResonantFreq(c.gap)) <= c.cfg.DeadbandHz {
+			c.timeInBand += dt
+		}
+	}
+
+	var power float64
+	// Actuator motion toward the target gap.
+	if c.moving {
+		step := c.cfg.ActuatorSpeed * dt
+		delta := c.targetGap - c.gap
+		if math.Abs(delta) <= step {
+			c.gap = c.targetGap
+			c.moving = false
+		} else {
+			c.gap += math.Copysign(step, delta)
+		}
+		power = c.cfg.ActuatorPower
+		c.energy += power * dt
+	}
+
+	// Periodic decision.
+	c.sinceDec += dt
+	if c.sinceDec >= c.cfg.Interval {
+		c.sinceDec = 0
+		c.decide(vstore)
+	}
+	return power
+}
+
+// decide runs one tuning decision: compare the estimated excitation
+// frequency with the current resonance and command the actuator if the
+// error exceeds the deadband (and the store can afford it).
+func (c *Controller) decide(vstore float64) {
+	c.decisions++
+	if vstore < c.cfg.MinStoreV {
+		return // preserve stored energy; try again next interval
+	}
+	fEst, ok := c.est.Freq()
+	if !ok {
+		return
+	}
+	fRes := c.harv.ResonantFreq(c.gap)
+	errHz := fEst - fRes
+	if math.Abs(errHz) <= c.cfg.DeadbandHz {
+		return
+	}
+	target := fEst
+	if c.cfg.MaxStepHz > 0 && math.Abs(errHz) > c.cfg.MaxStepHz {
+		target = fRes + math.Copysign(c.cfg.MaxStepHz, errHz)
+	}
+	gap, _ := c.harv.GapForFreq(target)
+	if gap != c.gap {
+		c.targetGap = gap
+		c.moving = true
+		c.moves++
+	}
+}

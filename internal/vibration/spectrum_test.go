@@ -1,0 +1,92 @@
+package vibration
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpectrumPureTone(t *testing.T) {
+	src := Sine{Amplitude: 0.8, Freq: 52}
+	spec, err := Spectrum(src, 0, 2, 1000, 30, 90, 121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, ok := DominantLine(spec)
+	if !ok {
+		t.Fatal("no dominant line")
+	}
+	if math.Abs(line.Freq-52) > 0.5 {
+		t.Fatalf("dominant at %v Hz, want 52", line.Freq)
+	}
+	if math.Abs(line.Amp-0.8) > 0.08 {
+		t.Fatalf("amplitude %v, want ≈0.8", line.Amp)
+	}
+	// Far-away bins are near zero.
+	for _, b := range spec {
+		if math.Abs(b.Freq-52) > 5 && b.Amp > 0.1 {
+			t.Fatalf("leakage %v at %v Hz", b.Amp, b.Freq)
+		}
+	}
+}
+
+func TestSpectrumMultiTonePicksStrongest(t *testing.T) {
+	src := MultiTone{Tones: []Sine{
+		{Amplitude: 0.3, Freq: 45},
+		{Amplitude: 0.9, Freq: 62},
+		{Amplitude: 0.2, Freq: 78},
+	}}
+	spec, err := Spectrum(src, 0, 2, 1000, 30, 90, 181)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, _ := DominantLine(spec)
+	if math.Abs(line.Freq-62) > 0.5 {
+		t.Fatalf("dominant at %v, want 62", line.Freq)
+	}
+	// And the estimate agrees with the source's own DominantFreq.
+	if math.Abs(line.Freq-src.DominantFreq(0)) > 0.5 {
+		t.Fatal("spectrum disagrees with source metadata")
+	}
+}
+
+func TestSpectrumValidation(t *testing.T) {
+	src := Sine{Amplitude: 1, Freq: 50}
+	cases := []struct {
+		dur, fs, fmin, fmax float64
+		bins                int
+	}{
+		{0, 1000, 30, 90, 10},     // zero duration
+		{1, 0, 30, 90, 10},        // zero fs
+		{1, 1000, 0, 90, 10},      // fmin 0
+		{1, 1000, 90, 30, 10},     // inverted band
+		{1, 1000, 30, 90, 1},      // one bin
+		{1, 1000, 30, 600, 10},    // above Nyquist
+		{0.001, 1000, 30, 90, 10}, // too few samples
+	}
+	for i, c := range cases {
+		if _, err := Spectrum(src, 0, c.dur, c.fs, c.fmin, c.fmax, c.bins); err == nil {
+			t.Errorf("case %d not rejected", i)
+		}
+	}
+	if _, err := Spectrum(nil, 0, 1, 1000, 30, 90, 10); err == nil {
+		t.Error("nil source not rejected")
+	}
+	if _, ok := DominantLine(nil); ok {
+		t.Error("empty spectrum must report !ok")
+	}
+}
+
+func TestSpectrumOfRandomWalkStaysInBounds(t *testing.T) {
+	src, err := NewRandomWalkSine(0.7, 60, 0.3, 50, 70, 10, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Spectrum(src, 0, 4, 1000, 30, 90, 121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, _ := DominantLine(spec)
+	if line.Freq < 48 || line.Freq > 72 {
+		t.Fatalf("dominant %v Hz escaped the walk bounds", line.Freq)
+	}
+}
