@@ -25,7 +25,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/doe"
 	"repro/internal/opt"
 	"repro/internal/report"
 	"repro/internal/rsm"
@@ -84,6 +83,7 @@ func cmdBuild(args []string) error {
 	horizon := fs.Float64("horizon", 60, "simulated duration per run (s)")
 	amp := fs.Float64("amp", 0.6, "excitation amplitude (m/s²)")
 	seed := fs.Int64("seed", 1, "seed for randomized designs")
+	workers := fs.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
 	out := fs.String("out", "surfaces.json", "output file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,39 +92,18 @@ func cmdBuild(args []string) error {
 	k := len(p.Factors)
 	quad := rsm.FullQuadratic(k)
 
-	ccf, err := doe.CentralComposite(k, doe.CCF, 3)
-	if err != nil {
-		return err
-	}
-	n := *runs
-	if n <= 0 {
-		n = ccf.N()
-	}
-	var design *doe.Design
-	switch strings.ToLower(*designName) {
-	case "ccf":
-		design = ccf
-	case "cci":
-		design, err = doe.CentralComposite(k, doe.CCI, 3)
-	case "bbd":
-		design, err = doe.BoxBehnken(k, 3)
-	case "lhs":
-		design, err = doe.LatinHypercube(k, n, *seed, 500)
-	case "dopt":
-		var grid *doe.Design
-		grid, err = doe.FullFactorial(k, 3)
-		if err == nil {
-			design, err = doe.DOptimal(grid, n, quad.Row, *seed, 0)
-		}
-	default:
-		return fmt.Errorf("unknown design %q", *designName)
-	}
+	design, err := core.NamedDesign(*designName, k, *runs, *seed)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("running %d simulations (%s, horizon %.0f s)...\n", design.N(), design.Name, *horizon)
-	ds, err := p.RunDesign(design)
+	var ds *core.Dataset
+	if *workers == 1 {
+		ds, err = p.RunDesign(design)
+	} else {
+		ds, err = p.RunDesignParallel(design, *workers)
+	}
 	if err != nil {
 		return err
 	}
@@ -144,7 +123,9 @@ func cmdBuild(args []string) error {
 	for _, id := range saved.Responses() {
 		t.AddRow(string(id), saved.R2[id], saved.RMSE[id])
 	}
-	t.AddNote("simulation %.0f ms, fitting %.1f ms; saved to %s", float64(ds.SimTime.Milliseconds()), float64(s.FitTime.Microseconds())/1e3, *out)
+	t.AddNote("simulation %.0f ms wall (%.0f ms of sim work, %.1f× parallel speedup), fitting %.1f ms; saved to %s",
+		float64(ds.SimTime.Milliseconds()), float64(ds.SimWork.Milliseconds()), ds.Speedup(),
+		float64(s.FitTime.Microseconds())/1e3, *out)
 	fmt.Println(t.String())
 	return nil
 }

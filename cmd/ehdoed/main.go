@@ -1,0 +1,80 @@
+// Command ehdoed is the surrogate-serving daemon: it keeps a registry of
+// fitted response-surface sets in memory and serves predictions, sweeps,
+// optimizations and validations over HTTP while DoE builds run as
+// background jobs on a worker pool.
+//
+//	ehdoed -addr :8080 -models ./models -queue 8
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET    /healthz              liveness + model count
+//	GET    /metrics              request counters and latency histograms (plaintext)
+//	GET    /v1/models            registered models
+//	GET    /v1/models/{name}     one model: factors, R², RMSE
+//	PUT    /v1/models/{name}     upload a saved-surfaces JSON (hot swap)
+//	DELETE /v1/models/{name}     unregister
+//	POST   /v1/predict           single/batch predictions, natural or coded units
+//	POST   /v1/sweep             1-D sweep of one response over one factor
+//	POST   /v1/optimize          Nelder–Mead optimum on the surface
+//	POST   /v1/validate          confirming simulations vs surface predictions
+//	POST   /v1/build             enqueue an async DoE build job
+//	GET    /v1/jobs              all jobs
+//	GET    /v1/jobs/{id}         one job's status
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener drains,
+// queued builds are cancelled, and the in-flight build gets -grace to
+// finish before its context is cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	models := flag.String("models", "", "directory of saved-surfaces *.json to load at startup")
+	queue := flag.Int("queue", 8, "build-job queue capacity")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight builds")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{ModelsDir: *models, QueueCap: *queue})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("ehdoed: serving %d model(s) on %s", srv.Registry().Len(), *addr)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Printf("ehdoed: %v — draining (grace %s)", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("ehdoed: listener shutdown: %v", err)
+		}
+		cancel()
+		srv.Shutdown(*grace)
+		log.Printf("ehdoed: bye")
+	}
+}

@@ -165,7 +165,20 @@ func (p *Problem) ResponsesAt(coded []float64) (map[ResponseID]float64, error) {
 type Dataset struct {
 	Design  *doe.Design
 	Y       map[ResponseID][]float64
-	SimTime time.Duration // total simulator wall-clock time
+	SimTime time.Duration // simulator wall-clock time (start to finish)
+	// SimWork is the sum of the individual run durations. With a serial
+	// runner it equals SimTime; with a worker pool the ratio
+	// SimWork/SimTime is the achieved parallel speedup.
+	SimWork time.Duration
+}
+
+// Speedup returns the achieved parallel speedup SimWork/SimTime
+// (1 for a serial run; 0 when timings were not recorded).
+func (ds *Dataset) Speedup() float64 {
+	if ds.SimTime <= 0 || ds.SimWork <= 0 {
+		return 0
+	}
+	return float64(ds.SimWork) / float64(ds.SimTime)
 }
 
 // RunDesign simulates every run of the design — the expensive, up-front
@@ -186,10 +199,12 @@ func (p *Problem) RunDesign(d *doe.Design) (*Dataset, error) {
 	}
 	start := time.Now()
 	for i, run := range d.Runs {
+		runStart := time.Now()
 		resp, err := p.ResponsesAt(run)
 		if err != nil {
 			return nil, fmt.Errorf("core: run %d failed: %w", i, err)
 		}
+		ds.SimWork += time.Since(runStart)
 		for _, id := range p.Responses {
 			ds.Y[id] = append(ds.Y[id], resp[id])
 		}

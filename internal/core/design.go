@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/doe"
+	"repro/internal/rsm"
+)
+
+// DesignNames lists the experiment plans NamedDesign accepts.
+func DesignNames() []string { return []string{"ccf", "cci", "bbd", "lhs", "dopt"} }
+
+// NamedDesign constructs one of the toolkit's standard experiment plans by
+// name for k factors: the face-centred and inscribed central composites
+// ("ccf", "cci"), Box–Behnken ("bbd"), maximin Latin hypercube ("lhs") and
+// D-optimal over a 3-level grid ("dopt"). runs sets the budget of the
+// randomized designs (lhs, dopt); runs ≤ 0 defaults to the CCF-equivalent
+// count, so every plan is comparable at the same cost. The fixed designs
+// use 3 centre runs, matching the build commands and experiments.
+func NamedDesign(name string, k, runs int, seed int64) (*doe.Design, error) {
+	ccf, err := doe.CentralComposite(k, doe.CCF, 3)
+	if err != nil {
+		return nil, err
+	}
+	if runs <= 0 {
+		runs = ccf.N()
+	}
+	switch strings.ToLower(name) {
+	case "ccf":
+		return ccf, nil
+	case "cci":
+		return doe.CentralComposite(k, doe.CCI, 3)
+	case "bbd":
+		return doe.BoxBehnken(k, 3)
+	case "lhs":
+		return doe.LatinHypercube(k, runs, seed, 500)
+	case "dopt":
+		grid, err := doe.FullFactorial(k, 3)
+		if err != nil {
+			return nil, err
+		}
+		return doe.DOptimal(grid, runs, rsm.FullQuadratic(k).Row, seed, 0)
+	}
+	return nil, fmt.Errorf("core: unknown design %q (want one of %s)", name, strings.Join(DesignNames(), ", "))
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/doe"
@@ -16,6 +18,16 @@ import (
 // DoE runs are embarrassingly parallel, so the "moderate number of
 // simulations" amortizes across cores. workers ≤ 0 uses GOMAXPROCS.
 func (p *Problem) RunDesignParallel(d *doe.Design, workers int) (*Dataset, error) {
+	return p.RunDesignContext(context.Background(), d, workers)
+}
+
+// RunDesignContext is RunDesignParallel with cancellation: when ctx is
+// cancelled — or as soon as any run fails — the remaining simulations are
+// abandoned instead of running to completion. This is what a long-lived
+// server's job runner needs: early abort on error and cancel-on-shutdown.
+// Workers never start a run after the abort signal; runs already in flight
+// finish (the simulator itself is not preemptible) and are discarded.
+func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers int) (*Dataset, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -31,44 +43,68 @@ func (p *Problem) RunDesignParallel(d *doe.Design, workers int) (*Dataset, error
 	if workers > d.N() {
 		workers = d.N()
 	}
-	start := time.Now()
-	type rowResult struct {
-		idx  int
-		resp map[ResponseID]float64
-		err  error
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: design run aborted: %w", err)
 	}
-	jobs := make(chan int)
-	results := make(chan rowResult)
+	start := time.Now()
+	// next hands out run indices; abort stops the handout early. Results
+	// land in a pre-sized slice (one slot per run, no index collisions),
+	// so the only shared state needing a lock is the error and the
+	// work-time counter.
+	var (
+		next  atomic.Int64
+		work  atomic.Int64 // summed run durations, ns
+		abort = make(chan struct{})
+		once  sync.Once
+		mu    sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		once.Do(func() { close(abort) })
+	}
+	stop := context.AfterFunc(ctx, func() {
+		fail(fmt.Errorf("core: design run aborted: %w", context.Cause(ctx)))
+	})
+	defer stop()
+
+	rows := make([]map[ResponseID]float64, d.N())
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for {
+				select {
+				case <-abort:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= d.N() {
+					return
+				}
+				runStart := time.Now()
 				resp, err := p.ResponsesAt(d.Runs[i])
-				results <- rowResult{idx: i, resp: resp, err: err}
+				work.Add(int64(time.Since(runStart)))
+				if err != nil {
+					fail(fmt.Errorf("core: run %d failed: %w", i, err))
+					return
+				}
+				rows[i] = resp
 			}
 		}()
 	}
-	go func() {
-		for i := 0; i < d.N(); i++ {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	rows := make([]map[ResponseID]float64, d.N())
-	var firstErr error
-	for r := range results {
-		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("core: run %d failed: %w", r.idx, r.err)
-		}
-		rows[r.idx] = r.resp
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	wg.Wait()
+	mu.Lock()
+	err := first
+	mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	ds := &Dataset{Design: d, Y: make(map[ResponseID][]float64, len(p.Responses))}
 	for _, id := range p.Responses {
@@ -79,6 +115,7 @@ func (p *Problem) RunDesignParallel(d *doe.Design, workers int) (*Dataset, error
 		ds.Y[id] = col
 	}
 	ds.SimTime = time.Since(start)
+	ds.SimWork = time.Duration(work.Load())
 	return ds, nil
 }
 

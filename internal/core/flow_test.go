@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/doe"
@@ -66,6 +68,72 @@ func TestRunDesignParallelPropagatesErrors(t *testing.T) {
 	design, _ := doe.TwoLevelFactorial(3)
 	if _, err := fail.RunDesignParallel(design, 3); err == nil {
 		t.Fatal("worker error must propagate")
+	}
+}
+
+func TestRunDesignContextPreCancelled(t *testing.T) {
+	p := quickProblem()
+	design, _ := doe.TwoLevelFactorial(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunDesignContext(ctx, design, 2); err == nil {
+		t.Fatal("cancelled context must abort the run")
+	}
+}
+
+func TestRunDesignContextAbortsEarlyOnError(t *testing.T) {
+	// With one worker the handout is strictly sequential, so a failure at
+	// run 2 must stop the design after exactly 3 simulations — the old
+	// runner executed all of them before reporting the error.
+	p := quickProblem()
+	var sims atomic.Int64
+	fail := *p
+	build := p.Build
+	fail.Build = func(nat []float64) (Scenario, error) {
+		if sims.Add(1) == 3 {
+			return Scenario{}, fmt.Errorf("synthetic failure")
+		}
+		return build(nat)
+	}
+	design, _ := doe.TwoLevelFactorial(3) // 8 runs
+	_, err := fail.RunDesignContext(context.Background(), design, 1)
+	if err == nil {
+		t.Fatal("worker error must propagate")
+	}
+	if got := sims.Load(); got != 3 {
+		t.Fatalf("ran %d simulations after the failure, want 3", got)
+	}
+}
+
+func TestRunDesignContextCancelMidRun(t *testing.T) {
+	// Cancel while the first simulation is in flight: the single worker
+	// must abandon the remaining runs.
+	p := quickProblem()
+	ctx, cancel := context.WithCancel(context.Background())
+	var sims atomic.Int64
+	blocked := *p
+	build := p.Build
+	blocked.Build = func(nat []float64) (Scenario, error) {
+		sims.Add(1)
+		cancel()
+		<-ctx.Done()
+		return build(nat)
+	}
+	design, _ := doe.TwoLevelFactorial(3)
+	_, err := blocked.RunDesignContext(ctx, design, 1)
+	if err == nil {
+		t.Fatal("mid-run cancellation must abort the design")
+	}
+	// The in-flight run completes (the simulator is not preemptible) but
+	// nothing new starts. AfterFunc delivery is asynchronous, so allow the
+	// worker to have started at most one more run before observing it.
+	if got := sims.Load(); got > 2 {
+		t.Fatalf("started %d simulations after cancellation, want ≤ 2", got)
+	}
+	if ds, err := p.RunDesignContext(context.Background(), design, 2); err != nil {
+		t.Fatal(err)
+	} else if ds.SimWork <= 0 || ds.Speedup() <= 0 {
+		t.Fatalf("work accounting missing: work %v speedup %v", ds.SimWork, ds.Speedup())
 	}
 }
 

@@ -190,12 +190,62 @@ func (ss *SavedSurfaces) Predict(id ResponseID, coded []float64) (float64, error
 
 // PredictNatural evaluates a saved surface at a point in natural units.
 func (ss *SavedSurfaces) PredictNatural(id ResponseID, natural []float64) (float64, error) {
+	coded, err := ss.EncodePoint(natural)
+	if err != nil {
+		return 0, err
+	}
+	return ss.Predict(id, coded)
+}
+
+// EncodePoint converts a point from natural units to coded units using the
+// saved factor ranges.
+func (ss *SavedSurfaces) EncodePoint(natural []float64) ([]float64, error) {
 	if len(natural) != len(ss.Factors) {
-		return 0, fmt.Errorf("core: point has %d coordinates, model wants %d", len(natural), len(ss.Factors))
+		return nil, fmt.Errorf("core: point has %d coordinates, model wants %d", len(natural), len(ss.Factors))
 	}
 	coded := make([]float64, len(natural))
 	for i, f := range ss.Factors {
 		coded[i] = f.Encode(natural[i])
 	}
-	return ss.Predict(id, coded)
+	return coded, nil
+}
+
+// Predictor returns an evaluator of one response with the polynomial basis
+// built once and a shared scratch row, so evaluating N points costs no
+// per-point allocation — the serving hot path. The returned function is NOT
+// safe for concurrent use (it owns the scratch); create one per goroutine.
+func (ss *SavedSurfaces) Predictor(id ResponseID) (func(coded []float64) float64, error) {
+	coef, ok := ss.Coef[id]
+	if !ok {
+		return nil, fmt.Errorf("core: saved surfaces lack response %q", id)
+	}
+	m := ss.Model()
+	scratch := make([]float64, len(m.Terms))
+	return func(coded []float64) float64 {
+		row := m.RowInto(coded, scratch)
+		var v float64
+		for i, c := range coef {
+			v += c * row[i]
+		}
+		return v
+	}, nil
+}
+
+// PredictBatch evaluates one response at every point (coded units) with a
+// single basis construction and zero per-point allocation beyond the output
+// slice.
+func (ss *SavedSurfaces) PredictBatch(id ResponseID, points [][]float64) ([]float64, error) {
+	pred, err := ss.Predictor(id)
+	if err != nil {
+		return nil, err
+	}
+	k := len(ss.Factors)
+	out := make([]float64, len(points))
+	for i, x := range points {
+		if len(x) != k {
+			return nil, fmt.Errorf("core: point %d has %d coordinates, model wants %d", i, len(x), k)
+		}
+		out[i] = pred(x)
+	}
+	return out, nil
 }

@@ -125,6 +125,89 @@ func TestSavedResponsesSorted(t *testing.T) {
 	}
 }
 
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	_, s := buildTestSurfaces(t)
+	saved := s.Save("CCF", 17)
+	points := [][]float64{
+		{0, 0, 0},
+		{0.5, -0.5, 0.25},
+		{1, 1, -1},
+		{-0.3, 0.8, 0.1},
+	}
+	for _, id := range saved.Responses() {
+		batch, err := saved.PredictBatch(id, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(points) {
+			t.Fatalf("%s: %d values for %d points", id, len(batch), len(points))
+		}
+		for i, x := range points {
+			want, err := saved.Predict(id, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i] != want {
+				t.Fatalf("%s point %d: batch %v vs single %v", id, i, batch[i], want)
+			}
+		}
+	}
+	// Errors: unknown response, ragged point.
+	if _, err := saved.PredictBatch(ResponseID("nope"), points); err == nil {
+		t.Fatal("unknown response must error")
+	}
+	if _, err := saved.PredictBatch(RespPackets, [][]float64{{0, 0}}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestPredictorSharedScratch(t *testing.T) {
+	_, s := buildTestSurfaces(t)
+	saved := s.Save("CCF", 17)
+	pred, err := saved.Predictor(RespStoredEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated calls with different points must not bleed state.
+	a1 := pred([]float64{0.1, 0.2, 0.3})
+	pred([]float64{-1, 1, -1})
+	a2 := pred([]float64{0.1, 0.2, 0.3})
+	if a1 != a2 {
+		t.Fatalf("predictor not pure: %v vs %v", a1, a2)
+	}
+	want, err := saved.Predict(RespStoredEnergy, []float64{0.1, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != want {
+		t.Fatalf("predictor %v vs Predict %v", a1, want)
+	}
+	if _, err := saved.Predictor(ResponseID("nope")); err == nil {
+		t.Fatal("unknown response must error")
+	}
+}
+
+func TestEncodePoint(t *testing.T) {
+	_, s := buildTestSurfaces(t)
+	saved := s.Save("CCF", 17)
+	nat := make([]float64, len(saved.Factors))
+	for i, f := range saved.Factors {
+		nat[i] = f.Min // natural minimum is coded −1
+	}
+	coded, err := saved.EncodePoint(nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range coded {
+		if math.Abs(c+1) > 1e-12 {
+			t.Fatalf("coordinate %d: %v, want -1", i, c)
+		}
+	}
+	if _, err := saved.EncodePoint([]float64{0}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
 func TestSaveWithDataRefit(t *testing.T) {
 	p := quickProblem()
 	design, err := doe.CentralComposite(3, doe.CCF, 2)

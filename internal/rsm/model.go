@@ -117,11 +117,21 @@ func (m Model) Validate() error {
 
 // Row expands the coded point x into the model-matrix row.
 func (m Model) Row(x []float64) []float64 {
-	row := make([]float64, len(m.Terms))
-	for i, t := range m.Terms {
-		row[i] = t.Eval(x)
+	return m.RowInto(x, make([]float64, len(m.Terms)))
+}
+
+// RowInto expands the coded point x into dst, reusing its backing array
+// when it is large enough — the allocation-free path for batch prediction
+// hot loops. It returns the (possibly re-sliced) destination.
+func (m Model) RowInto(x, dst []float64) []float64 {
+	if cap(dst) < len(m.Terms) {
+		dst = make([]float64, len(m.Terms))
 	}
-	return row
+	dst = dst[:len(m.Terms)]
+	for i, t := range m.Terms {
+		dst[i] = t.Eval(x)
+	}
+	return dst
 }
 
 // intercept returns the all-zero term for k factors.

@@ -1,0 +1,64 @@
+package rsm
+
+import "testing"
+
+func TestRowIntoMatchesRow(t *testing.T) {
+	m := FullQuadratic(4)
+	x := []float64{0.3, -0.7, 1, -0.25}
+	want := m.Row(x)
+
+	// Undersized destination: RowInto must allocate.
+	got := m.RowInto(x, nil)
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("term %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// Right-sized destination: RowInto must reuse it.
+	scratch := make([]float64, m.P())
+	got = m.RowInto(x, scratch)
+	if &got[0] != &scratch[0] {
+		t.Fatal("RowInto reallocated a sufficient scratch buffer")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused term %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// Oversized destination: result is re-sliced to P().
+	big := make([]float64, m.P()+10)
+	got = m.RowInto(x, big)
+	if len(got) != m.P() || &got[0] != &big[0] {
+		t.Fatal("RowInto mishandled an oversized buffer")
+	}
+}
+
+// BenchmarkRow4 measures the allocating row expansion.
+func BenchmarkRow4(b *testing.B) {
+	m := FullQuadratic(4)
+	x := []float64{0.3, -0.2, 0.8, -0.5}
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Row(x)[0]
+	}
+	_ = sink
+}
+
+// BenchmarkRowInto4 measures the allocation-free batch-predict path.
+func BenchmarkRowInto4(b *testing.B) {
+	m := FullQuadratic(4)
+	x := []float64{0.3, -0.2, 0.8, -0.5}
+	scratch := make([]float64, m.P())
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.RowInto(x, scratch)[0]
+	}
+	_ = sink
+}

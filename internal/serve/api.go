@@ -1,0 +1,213 @@
+// Package serve is the surrogate-serving daemon behind cmd/ehdoed: a
+// thread-safe registry of fitted response-surface sets, a JSON API that
+// answers predictions, sweeps, optimizations and validations on them
+// "practically instantly", and an async job runner that executes the
+// expensive DoE builds in the background and hot-swaps the finished
+// surfaces into the registry.
+//
+// The package splits the paper's flow along its natural production seam:
+// building surfaces is the training side (slow, simulator-bound,
+// parallelized, queued), serving them is the inference side (fast,
+// allocation-free batch evaluation, safe under heavy concurrency).
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// FactorView is the JSON shape of a design factor.
+type FactorView struct {
+	Name string  `json:"name"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Unit string  `json:"unit,omitempty"`
+}
+
+// ModelSummary is the list-view of a registered surface set.
+type ModelSummary struct {
+	Name      string   `json:"name"`
+	Design    string   `json:"design"`
+	Runs      int      `json:"runs"`
+	Horizon   float64  `json:"horizon_s"`
+	Responses []string `json:"responses"`
+}
+
+// ModelDetail adds the factor ranges and fit diagnostics.
+type ModelDetail struct {
+	ModelSummary
+	Factors []FactorView       `json:"factors"`
+	R2      map[string]float64 `json:"r2"`
+	RMSE    map[string]float64 `json:"rmse"`
+	HasData bool               `json:"has_data"`
+}
+
+func summarize(name string, ss *core.SavedSurfaces) ModelSummary {
+	out := ModelSummary{
+		Name:    name,
+		Design:  ss.DesignName,
+		Runs:    ss.Runs,
+		Horizon: ss.Horizon,
+	}
+	for _, id := range ss.Responses() {
+		out.Responses = append(out.Responses, string(id))
+	}
+	return out
+}
+
+func detail(name string, ss *core.SavedSurfaces) ModelDetail {
+	d := ModelDetail{
+		ModelSummary: summarize(name, ss),
+		R2:           make(map[string]float64, len(ss.R2)),
+		RMSE:         make(map[string]float64, len(ss.RMSE)),
+		HasData:      ss.HasData(),
+	}
+	for _, f := range ss.Factors {
+		d.Factors = append(d.Factors, FactorView{Name: f.Name, Min: f.Min, Max: f.Max, Unit: f.Unit})
+	}
+	for id, v := range ss.R2 {
+		d.R2[string(id)] = v
+	}
+	for id, v := range ss.RMSE {
+		d.RMSE[string(id)] = v
+	}
+	return d
+}
+
+// PredictRequest asks for surface predictions at one point or a batch of
+// points, in natural (default) or coded units.
+type PredictRequest struct {
+	Model string `json:"model"`
+	// Units is "natural" (default) or "coded".
+	Units  string      `json:"units,omitempty"`
+	Point  []float64   `json:"point,omitempty"`
+	Points [][]float64 `json:"points,omitempty"`
+	// Responses restricts the evaluated responses; empty means all.
+	Responses []string `json:"responses,omitempty"`
+}
+
+// PointPrediction is every requested response evaluated at one point.
+type PointPrediction struct {
+	Point  []float64          `json:"point"`
+	Values map[string]float64 `json:"values"`
+}
+
+// PredictResponse carries per-point results in request order.
+type PredictResponse struct {
+	Model   string            `json:"model"`
+	Units   string            `json:"units"`
+	Results []PointPrediction `json:"results"`
+}
+
+// SweepRequest asks for a 1-D sweep of one response over one factor's full
+// natural range, holding the other factors at the given values (natural
+// units; unset factors sit at their range midpoint).
+type SweepRequest struct {
+	Model    string             `json:"model"`
+	Response string             `json:"response"`
+	Factor   string             `json:"factor"`
+	Points   int                `json:"points,omitempty"`
+	At       map[string]float64 `json:"at,omitempty"`
+}
+
+// SweepResponse is the sampled curve in natural units.
+type SweepResponse struct {
+	Model    string    `json:"model"`
+	Response string    `json:"response"`
+	Factor   string    `json:"factor"`
+	Unit     string    `json:"unit,omitempty"`
+	X        []float64 `json:"x"`
+	Y        []float64 `json:"y"`
+}
+
+// OptimizeRequest asks for the surface optimum of one response
+// (multi-start Nelder–Mead in the coded box).
+type OptimizeRequest struct {
+	Model    string `json:"model"`
+	Response string `json:"response"`
+	Minimize bool   `json:"minimize,omitempty"`
+	Starts   int    `json:"starts,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// OptimizeResponse reports the optimum in both unit systems.
+type OptimizeResponse struct {
+	Model     string    `json:"model"`
+	Response  string    `json:"response"`
+	Minimize  bool      `json:"minimize"`
+	Natural   []float64 `json:"natural"`
+	Coded     []float64 `json:"coded"`
+	Predicted float64   `json:"predicted"`
+	Evals     int       `json:"evals"`
+}
+
+// ValidateRequest asks for confirming simulations: n fresh random points
+// simulated and compared against the surface predictions.
+type ValidateRequest struct {
+	Model string  `json:"model"`
+	N     int     `json:"n,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	Amp   float64 `json:"amp,omitempty"`
+}
+
+// ValidateRow is the accuracy summary of one response.
+type ValidateRow struct {
+	Response   string  `json:"response"`
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	MaxAbsErr  float64 `json:"max_abs_err"`
+}
+
+// ValidateResponse reports per-response surface accuracy at the fresh
+// points, plus the simulation cost that buying this confirmation took.
+type ValidateResponse struct {
+	Model     string        `json:"model"`
+	N         int           `json:"n"`
+	Rows      []ValidateRow `json:"rows"`
+	SimMillis float64       `json:"sim_ms"`
+}
+
+// BuildRequest enqueues an asynchronous DoE build: run the designed
+// experiment on the simulator, fit the surfaces, and register them under
+// Model. Design names follow core.DesignNames (default "ccf").
+type BuildRequest struct {
+	Model   string  `json:"model"`
+	Design  string  `json:"design,omitempty"`
+	Runs    int     `json:"runs,omitempty"`
+	Horizon float64 `json:"horizon_s,omitempty"`
+	Amp     float64 `json:"amp,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+// JobView is the JSON snapshot of a build job.
+type JobView struct {
+	ID         string             `json:"id"`
+	Model      string             `json:"model"`
+	Design     string             `json:"design"`
+	State      string             `json:"state"`
+	Runs       int                `json:"runs,omitempty"`
+	Horizon    float64            `json:"horizon_s"`
+	Amp        float64            `json:"amp"`
+	Seed       int64              `json:"seed"`
+	Workers    int                `json:"workers,omitempty"`
+	Error      string             `json:"error,omitempty"`
+	EnqueuedAt string             `json:"enqueued_at,omitempty"`
+	StartedAt  string             `json:"started_at,omitempty"`
+	FinishedAt string             `json:"finished_at,omitempty"`
+	SimMillis  float64            `json:"sim_ms,omitempty"`
+	Speedup    float64            `json:"speedup,omitempty"`
+	R2         map[string]float64 `json:"r2,omitempty"`
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func benchPoints(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, n)
+	for i := range pts {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		pts[i] = x
+	}
+	return pts
+}
+
+// BenchmarkPredictBatch is the serving hot path: one basis construction
+// and one scratch row amortized over the whole batch.
+func BenchmarkPredictBatch(b *testing.B) {
+	ss := fixture(b)
+	pts := benchPoints(256)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ss.PredictBatch(core.RespPackets, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictLoop is the naive per-point path PredictBatch replaces:
+// SavedSurfaces.Predict rebuilds the polynomial basis and allocates a
+// fresh row on every call.
+func BenchmarkPredictLoop(b *testing.B) {
+	ss := fixture(b)
+	pts := benchPoints(256)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, x := range pts {
+			if _, err := ss.Predict(core.RespPackets, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

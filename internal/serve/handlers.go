@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+)
+
+func (s *Server) handleModelsList(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Models []ModelSummary `json:"models"`
+	}{Models: []ModelSummary{}}
+	for _, name := range s.registry.Names() {
+		if ss, ok := s.registry.Get(name); ok {
+			out.Models = append(out.Models, summarize(name, ss))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ss, ok := s.model(w, name)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, detail(name, ss))
+}
+
+// handleModelPut uploads a saved-surfaces document and atomically swaps it
+// into the registry — hot-reload of a model without restarting the daemon.
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing model name")
+		return
+	}
+	body, err := readAll(w, r, s.maxBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	ss, err := core.DecodeSurfaces(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, existed := s.registry.Get(name)
+	s.registry.Set(name, ss)
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, detail(name, ss))
+}
+
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.Delete(name) {
+		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePredict is the serving hot path: batch evaluation of any subset of
+// responses at any number of points, natural or coded units. One basis
+// construction and one scratch row per response cover the whole batch
+// (core.SavedSurfaces.PredictBatch).
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	ss, ok := s.model(w, req.Model)
+	if !ok {
+		return
+	}
+	points := req.Points
+	if req.Point != nil {
+		points = append([][]float64{req.Point}, points...)
+	}
+	if len(points) == 0 {
+		writeError(w, http.StatusBadRequest, "need a point or points")
+		return
+	}
+	units, natural, ok := parseUnits(w, req.Units)
+	if !ok {
+		return
+	}
+	coded := points
+	if natural {
+		coded = make([][]float64, len(points))
+		for i, p := range points {
+			c, err := ss.EncodePoint(p)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+				return
+			}
+			coded[i] = c
+		}
+	} else {
+		k := len(ss.Factors)
+		for i, p := range coded {
+			if len(p) != k {
+				writeError(w, http.StatusBadRequest, "point %d has %d coordinates, model wants %d", i, len(p), k)
+				return
+			}
+		}
+	}
+	ids, ok := resolveResponses(w, ss, req.Responses)
+	if !ok {
+		return
+	}
+	resp := PredictResponse{Model: req.Model, Units: units, Results: make([]PointPrediction, len(points))}
+	for i := range resp.Results {
+		resp.Results[i] = PointPrediction{Point: points[i], Values: make(map[string]float64, len(ids))}
+	}
+	for _, id := range ids {
+		vals, err := ss.PredictBatch(id, coded)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		for i, v := range vals {
+			resp.Results[i].Values[string(id)] = v
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	ss, ok := s.model(w, req.Model)
+	if !ok {
+		return
+	}
+	id := core.ResponseID(req.Response)
+	if _, ok := ss.Coef[id]; !ok {
+		writeError(w, http.StatusBadRequest, "model has no response %q", req.Response)
+		return
+	}
+	fi := factorIndex(ss, req.Factor)
+	if fi < 0 {
+		writeError(w, http.StatusBadRequest, "unknown factor %q", req.Factor)
+		return
+	}
+	n := req.Points
+	if n == 0 {
+		n = 21
+	}
+	if n < 2 || n > 100_000 {
+		writeError(w, http.StatusBadRequest, "points %d outside 2..100000", n)
+		return
+	}
+	base, err := basePoint(ss, req.At)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pred, err := ss.Predictor(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	f := ss.Factors[fi]
+	resp := SweepResponse{
+		Model: req.Model, Response: req.Response, Factor: f.Name, Unit: f.Unit,
+		X: make([]float64, n), Y: make([]float64, n),
+	}
+	coded := make([]float64, len(base))
+	for j, v := range base {
+		coded[j] = ss.Factors[j].Encode(v)
+	}
+	for i := 0; i < n; i++ {
+		x := f.Min + float64(i)/float64(n-1)*(f.Max-f.Min)
+		coded[fi] = f.Encode(x)
+		resp.X[i] = x
+		resp.Y[i] = pred(coded)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleOptimize runs multi-start Nelder–Mead on the fitted surface — the
+// paper's "practically instant" optimization, exposed as an RPC.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	ss, ok := s.model(w, req.Model)
+	if !ok {
+		return
+	}
+	id := core.ResponseID(req.Response)
+	pred, err := ss.Predictor(id)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "model has no response %q", req.Response)
+		return
+	}
+	starts := req.Starts
+	if starts <= 0 {
+		starts = 6
+	}
+	if starts > 1000 {
+		writeError(w, http.StatusBadRequest, "starts %d outside 1..1000", req.Starts)
+		return
+	}
+	obj := opt.Objective(pred)
+	if !req.Minimize {
+		obj = opt.Maximize(obj)
+	}
+	bounds := opt.NewBounds(len(ss.Factors))
+	rng := rand.New(rand.NewSource(req.Seed))
+	var best *opt.Result
+	evals := 0
+	for i := 0; i < starts; i++ {
+		res, err := opt.NelderMead(obj, bounds, bounds.Random(rng), opt.NelderMeadConfig{MaxIters: 400})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		evals += res.Evals
+		if best == nil || res.F < best.F {
+			best = res
+		}
+	}
+	natural := make([]float64, len(best.X))
+	for i, f := range ss.Factors {
+		natural[i] = f.Decode(best.X[i])
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		Model: req.Model, Response: req.Response, Minimize: req.Minimize,
+		Natural: natural, Coded: best.X, Predicted: pred(best.X), Evals: evals,
+	})
+}
+
+// handleValidate runs confirming simulations — the flow's "one check run"
+// step, batched. It is the only synchronous endpoint that touches the
+// simulator, so n is kept small and the client's disconnect aborts it.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req ValidateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	ss, ok := s.model(w, req.Model)
+	if !ok {
+		return
+	}
+	n := req.N
+	if n == 0 {
+		n = 10
+	}
+	if n < 1 || n > 1000 {
+		writeError(w, http.StatusBadRequest, "n %d outside 1..1000", req.N)
+		return
+	}
+	amp := req.Amp
+	if amp <= 0 {
+		amp = 0.6
+	}
+	p := s.problem(amp, ss.Horizon)
+	if len(p.Factors) != len(ss.Factors) {
+		writeError(w, http.StatusConflict,
+			"model has %d factors but the server problem has %d — validate applies only to models of the served problem",
+			len(ss.Factors), len(p.Factors))
+		return
+	}
+	// Validate only responses both the model and the simulator produce.
+	var ids []core.ResponseID
+	for _, id := range ss.Responses() {
+		for _, pid := range p.Responses {
+			if id == pid {
+				ids = append(ids, id)
+				break
+			}
+		}
+	}
+	if len(ids) == 0 {
+		writeError(w, http.StatusConflict, "model and server problem share no responses")
+		return
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	sums := make(map[core.ResponseID]float64, len(ids))
+	maxs := make(map[core.ResponseID]float64, len(ids))
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := r.Context().Err(); err != nil {
+			writeError(w, statusClientClosedRequest, "validation aborted: %v", err)
+			return
+		}
+		x := make([]float64, len(ss.Factors))
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		sim, err := p.ResponsesAt(x)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "simulation %d failed: %v", i, err)
+			return
+		}
+		for _, id := range ids {
+			pred, err := ss.Predict(id, x)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			e := math.Abs(pred - sim[id])
+			sums[id] += e
+			if e > maxs[id] {
+				maxs[id] = e
+			}
+		}
+	}
+	resp := ValidateResponse{Model: req.Model, N: n, SimMillis: float64(time.Since(start).Microseconds()) / 1e3}
+	for _, id := range ids {
+		resp.Rows = append(resp.Rows, ValidateRow{
+			Response:   string(id),
+			MeanAbsErr: sums[id] / float64(n),
+			MaxAbsErr:  maxs[id],
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusClientClosedRequest is nginx's 499: the client went away mid-work.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	var req BuildRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	job, err := s.jobs.Submit(req)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Job JobView `json:"job"`
+	}{Job: job})
+}
+
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// parseUnits maps the request's units field to (canonical name, natural?).
+func parseUnits(w http.ResponseWriter, units string) (string, bool, bool) {
+	switch units {
+	case "", "natural":
+		return "natural", true, true
+	case "coded":
+		return "coded", false, true
+	}
+	writeError(w, http.StatusBadRequest, "units %q must be \"natural\" or \"coded\"", units)
+	return "", false, false
+}
+
+// resolveResponses validates the requested response names (empty = all).
+func resolveResponses(w http.ResponseWriter, ss *core.SavedSurfaces, names []string) ([]core.ResponseID, bool) {
+	if len(names) == 0 {
+		return ss.Responses(), true
+	}
+	ids := make([]core.ResponseID, len(names))
+	for i, name := range names {
+		id := core.ResponseID(name)
+		if _, ok := ss.Coef[id]; !ok {
+			writeError(w, http.StatusBadRequest, "model has no response %q", name)
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+func factorIndex(ss *core.SavedSurfaces, name string) int {
+	for i, f := range ss.Factors {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// basePoint builds a natural-units point from the "at" map, defaulting
+// every unset factor to its range midpoint.
+func basePoint(ss *core.SavedSurfaces, at map[string]float64) ([]float64, error) {
+	nat := make([]float64, len(ss.Factors))
+	for i, f := range ss.Factors {
+		nat[i] = (f.Min + f.Max) / 2
+	}
+	for name, v := range at {
+		i := factorIndex(ss, name)
+		if i < 0 {
+			return nil, fmt.Errorf("unknown factor %q", name)
+		}
+		nat[i] = v
+	}
+	return nat, nil
+}

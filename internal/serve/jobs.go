@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rsm"
+)
+
+// JobState is the lifecycle of a build job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one asynchronous DoE build. Fields are guarded by the owning
+// manager's mutex; handlers only ever see View snapshots.
+type Job struct {
+	ID  string
+	Req BuildRequest
+
+	State    JobState
+	Error    string
+	Runs     int // design size, known once the job starts
+	Enqueued time.Time
+	Started  time.Time
+	Finished time.Time
+	SimTime  time.Duration
+	Speedup  float64
+	R2       map[string]float64
+}
+
+// view renders a snapshot; callers must hold the manager lock.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:         j.ID,
+		Model:      j.Req.Model,
+		Design:     j.Req.Design,
+		State:      string(j.State),
+		Runs:       j.Runs,
+		Horizon:    j.Req.Horizon,
+		Amp:        j.Req.Amp,
+		Seed:       j.Req.Seed,
+		Workers:    j.Req.Workers,
+		Error:      j.Error,
+		EnqueuedAt: stamp(j.Enqueued),
+		StartedAt:  stamp(j.Started),
+		FinishedAt: stamp(j.Finished),
+		Speedup:    j.Speedup,
+	}
+	if j.SimTime > 0 {
+		v.SimMillis = float64(j.SimTime.Microseconds()) / 1e3
+	}
+	if len(j.R2) > 0 {
+		v.R2 = make(map[string]float64, len(j.R2))
+		for k, r2 := range j.R2 {
+			v.R2[k] = r2
+		}
+	}
+	return v
+}
+
+// ProblemFactory instantiates the design problem a build simulates;
+// cmd/ehdoed uses core.StandardProblem, tests substitute faster problems.
+type ProblemFactory func(amp, horizon float64) *core.Problem
+
+// JobManager owns a bounded queue of build jobs and a single build worker:
+// DoE builds saturate the cores on their own via RunDesignContext, so
+// running them one at a time maximizes per-build throughput and keeps the
+// queue semantics obvious. Finished surfaces are registered (atomically
+// swapped) into the registry under the requested model name.
+type JobManager struct {
+	registry *Registry
+	problem  ProblemFactory
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	jobs   map[string]*Job
+	order  []string
+	queue  chan *Job
+}
+
+// NewJobManager starts the build worker. queueCap bounds the number of
+// jobs waiting behind the running one; Submit rejects beyond that.
+func NewJobManager(registry *Registry, problem ProblemFactory, queueCap int) *JobManager {
+	if queueCap < 1 {
+		queueCap = 8
+	}
+	if problem == nil {
+		problem = core.StandardProblem
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &JobManager{
+		registry: registry,
+		problem:  problem,
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, queueCap),
+	}
+	m.wg.Add(1)
+	go m.worker()
+	return m
+}
+
+// Submit validates and enqueues a build, returning its snapshot.
+func (m *JobManager) Submit(req BuildRequest) (JobView, error) {
+	if req.Model == "" {
+		return JobView{}, fmt.Errorf("serve: build needs a model name")
+	}
+	if req.Design == "" {
+		req.Design = "ccf"
+	}
+	if req.Horizon <= 0 {
+		req.Horizon = 60
+	}
+	if req.Amp <= 0 {
+		req.Amp = 0.6
+	}
+	// Fail fast on an unknown design instead of at run time.
+	k := len(m.problem(req.Amp, req.Horizon).Factors)
+	if _, err := core.NamedDesign(req.Design, k, req.Runs, req.Seed); err != nil {
+		return JobView{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, fmt.Errorf("serve: job manager is shutting down")
+	}
+	m.nextID++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%06d", m.nextID),
+		Req:      req,
+		State:    JobQueued,
+		Enqueued: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return JobView{}, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	return j.view(), nil
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at capacity;
+// the HTTP layer maps it to 503.
+var ErrQueueFull = fmt.Errorf("serve: build queue is full")
+
+// Get returns the snapshot of one job.
+func (m *JobManager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// List returns snapshots of every job in submission order.
+func (m *JobManager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].view())
+	}
+	return out
+}
+
+// Shutdown stops accepting jobs, cancels everything still queued, and
+// drains the in-flight build: it may finish within the grace period; past
+// it the build's context is cancelled and the job reports canceled.
+func (m *JobManager) Shutdown(grace time.Duration) {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		// Queued-but-unstarted jobs are cancelled outright; only the one
+		// already running gets the grace period.
+		for {
+			var j *Job
+			select {
+			case j = <-m.queue:
+			default:
+			}
+			if j == nil {
+				break
+			}
+			j.State = JobCanceled
+			j.Error = "canceled: server shutting down"
+			j.Finished = time.Now()
+		}
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		m.cancel()
+		<-done
+	}
+	m.cancel()
+}
+
+func (m *JobManager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		if m.ctx.Err() != nil {
+			m.finish(j, JobCanceled, fmt.Errorf("canceled: server shutting down"))
+			continue
+		}
+		m.run(j)
+	}
+}
+
+func (m *JobManager) run(j *Job) {
+	p := m.problem(j.Req.Amp, j.Req.Horizon)
+	k := len(p.Factors)
+	design, err := core.NamedDesign(j.Req.Design, k, j.Req.Runs, j.Req.Seed)
+	if err != nil {
+		m.finish(j, JobFailed, err)
+		return
+	}
+
+	m.mu.Lock()
+	j.State = JobRunning
+	j.Started = time.Now()
+	j.Runs = design.N()
+	m.mu.Unlock()
+
+	ds, err := p.RunDesignContext(m.ctx, design, j.Req.Workers)
+	if err != nil {
+		state := JobFailed
+		if m.ctx.Err() != nil {
+			state = JobCanceled
+		}
+		m.finish(j, state, err)
+		return
+	}
+	s, err := p.BuildSurfaces(ds, rsm.FullQuadratic(k))
+	if err != nil {
+		m.finish(j, JobFailed, err)
+		return
+	}
+	saved := s.SaveWithData(ds)
+	m.registry.Set(j.Req.Model, saved)
+
+	m.mu.Lock()
+	j.State = JobDone
+	j.Finished = time.Now()
+	j.SimTime = ds.SimTime
+	j.Speedup = ds.Speedup()
+	j.R2 = make(map[string]float64, len(saved.R2))
+	for id, r2 := range saved.R2 {
+		j.R2[string(id)] = r2
+	}
+	m.mu.Unlock()
+}
+
+func (m *JobManager) finish(j *Job, state JobState, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.State = state
+	if err != nil {
+		j.Error = err.Error()
+	}
+	j.Finished = time.Now()
+}

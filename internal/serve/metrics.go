@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the cumulative-histogram upper bounds in seconds,
+// spanning the sub-millisecond surrogate hot path up to multi-second
+// simulation-backed endpoints. An implicit +Inf bucket follows.
+var latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// endpointStats accumulates one endpoint's counters and latency histogram.
+type endpointStats struct {
+	count   uint64
+	errors  uint64 // responses with status ≥ 400
+	sum     float64
+	buckets []uint64 // len(latencyBuckets)+1, last is +Inf
+}
+
+// Metrics collects per-endpoint request counters and latency histograms,
+// rendered in Prometheus text exposition format at /metrics. A single
+// mutex suffices: observations are a few adds, far cheaper than the
+// handlers they measure.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one served request.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.endpoints[endpoint]
+	if !ok {
+		st = &endpointStats{buckets: make([]uint64, len(latencyBuckets)+1)}
+		m.endpoints[endpoint] = st
+	}
+	st.count++
+	if status >= 400 {
+		st.errors++
+	}
+	st.sum += sec
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			st.buckets[i]++
+		}
+	}
+	st.buckets[len(latencyBuckets)]++ // +Inf
+}
+
+// Render produces the plaintext exposition.
+func (m *Metrics) Render() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("# HELP ehdoed_uptime_seconds Seconds since the server started.\n")
+	b.WriteString("# TYPE ehdoed_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "ehdoed_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	b.WriteString("# HELP ehdoed_requests_total Requests served, by endpoint.\n")
+	b.WriteString("# TYPE ehdoed_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "ehdoed_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].count)
+	}
+	b.WriteString("# HELP ehdoed_request_errors_total Requests answered with status >= 400, by endpoint.\n")
+	b.WriteString("# TYPE ehdoed_request_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "ehdoed_request_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors)
+	}
+	b.WriteString("# HELP ehdoed_request_latency_seconds Request latency, by endpoint.\n")
+	b.WriteString("# TYPE ehdoed_request_latency_seconds histogram\n")
+	for _, name := range names {
+		st := m.endpoints[name]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(&b, "ehdoed_request_latency_seconds_bucket{endpoint=%q,le=%q} %d\n", name, trimFloat(ub), st.buckets[i])
+		}
+		fmt.Fprintf(&b, "ehdoed_request_latency_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, st.buckets[len(latencyBuckets)])
+		fmt.Fprintf(&b, "ehdoed_request_latency_seconds_sum{endpoint=%q} %g\n", name, st.sum)
+		fmt.Fprintf(&b, "ehdoed_request_latency_seconds_count{endpoint=%q} %d\n", name, st.count)
+	}
+	return []byte(b.String())
+}
+
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Registry is a thread-safe collection of named, immutable surface sets.
+// Readers (the predict/sweep/optimize hot paths) take a shared lock only
+// long enough to fetch the pointer; a concurrent upload swaps the pointer
+// atomically under the write lock, so in-flight requests keep the version
+// they started with and new requests see the new one — hot-reload without
+// a stall.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*core.SavedSurfaces
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*core.SavedSurfaces)}
+}
+
+// Get fetches a model by name.
+func (r *Registry) Get(name string) (*core.SavedSurfaces, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ss, ok := r.models[name]
+	return ss, ok
+}
+
+// Set registers (or atomically replaces) a model. The surfaces must not be
+// mutated after registration.
+func (r *Registry) Set(name string, ss *core.SavedSurfaces) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = ss
+}
+
+// Delete removes a model, reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.models[name]
+	delete(r.models, name)
+	return ok
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for name := range r.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// LoadDir registers every *.json saved-surfaces file in dir under its
+// basename (sans extension). It returns the loaded names; a file that
+// fails to decode aborts the load, since serving a partial registry
+// silently is worse than failing fast at startup.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading model dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading %s: %w", path, err)
+		}
+		ss, err := core.DecodeSurfaces(data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		r.Set(name, ss)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRegistryConcurrentPredictDuringSwap is the hot-reload contract: many
+// goroutines predicting against a model while others swap and delete it
+// must stay race-free (run under -race) and every successful Get must
+// yield a fully usable surface set.
+func TestRegistryConcurrentPredictDuringSwap(t *testing.T) {
+	ss := fixture(t)
+	reg := NewRegistry()
+	reg.Set("m", ss)
+
+	points := [][]float64{{0, 0, 0, 0}, {0.5, -0.5, 0.25, -0.25}, {1, 1, -1, -1}}
+	const readers = 8
+	const iters = 300
+
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				got, ok := reg.Get("m")
+				if !ok {
+					continue // mid-delete; the writer restores it
+				}
+				vals, err := got.PredictBatch(core.RespPackets, points)
+				if err != nil {
+					t.Errorf("predict during swap: %v", err)
+					return
+				}
+				if len(vals) != len(points) {
+					t.Errorf("got %d values for %d points", len(vals), len(points))
+					return
+				}
+			}
+		}()
+	}
+	// Writer: keep swapping the same surfaces in under the readers' feet,
+	// with occasional delete/restore cycles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%10 == 9 {
+				reg.Delete("m")
+			}
+			reg.Set("m", ss)
+			reg.Names()
+			reg.Len()
+		}
+	}()
+	wg.Wait()
+
+	if _, ok := reg.Get("m"); !ok {
+		t.Fatal("model lost after the swap storm")
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Len() != 0 || len(reg.Names()) != 0 {
+		t.Fatal("new registry not empty")
+	}
+	if _, ok := reg.Get("x"); ok {
+		t.Fatal("phantom model")
+	}
+	if reg.Delete("x") {
+		t.Fatal("deleting a missing model reported true")
+	}
+	ss := fixture(t)
+	reg.Set("b", ss)
+	reg.Set("a", ss)
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	if !reg.Delete("a") || reg.Len() != 1 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestRegistryLoadDir(t *testing.T) {
+	ss := fixture(t)
+	data, err := ss.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"alpha.json", "beta.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-JSON files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	names, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("loaded %v", names)
+	}
+	if _, ok := reg.Get("alpha"); !ok {
+		t.Fatal("alpha not registered")
+	}
+
+	// A corrupt file aborts the load.
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry().LoadDir(dir); err == nil {
+		t.Fatal("corrupt model file must fail the load")
+	}
+
+	// Missing directory fails.
+	if _, err := NewRegistry().LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+
+	// The server loads the directory at startup.
+	srv, err := New(Config{ModelsDir: dir})
+	if err == nil {
+		t.Fatal("server must refuse a dir with a corrupt model")
+	}
+	if err := os.Remove(filepath.Join(dir, "corrupt.json")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err = New(Config{ModelsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(0)
+	if srv.Registry().Len() != 2 {
+		t.Fatalf("server loaded %d models, want 2", srv.Registry().Len())
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config configures a Server.
+type Config struct {
+	// ModelsDir, when set, is loaded into the registry at startup.
+	ModelsDir string
+	// QueueCap bounds the build-job queue (default 8).
+	QueueCap int
+	// Problem instantiates the design problem builds and validations
+	// simulate; nil means core.StandardProblem.
+	Problem ProblemFactory
+	// MaxBodyBytes caps request bodies (default 32 MiB — model uploads
+	// embed the raw experiment).
+	MaxBodyBytes int64
+}
+
+// Server wires the registry, job manager and metrics into an http.Handler.
+type Server struct {
+	registry *Registry
+	jobs     *JobManager
+	metrics  *Metrics
+	problem  ProblemFactory
+	maxBody  int64
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New builds a server, loading any models found in cfg.ModelsDir.
+func New(cfg Config) (*Server, error) {
+	problem := cfg.Problem
+	if problem == nil {
+		problem = core.StandardProblem
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	s := &Server{
+		registry: NewRegistry(),
+		metrics:  NewMetrics(),
+		problem:  problem,
+		maxBody:  maxBody,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	if cfg.ModelsDir != "" {
+		if _, err := s.registry.LoadDir(cfg.ModelsDir); err != nil {
+			return nil, err
+		}
+	}
+	s.jobs = NewJobManager(s.registry, problem, cfg.QueueCap)
+	s.routes()
+	return s, nil
+}
+
+// Registry exposes the model registry (for the CLI and tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Jobs exposes the job manager.
+func (s *Server) Jobs() *JobManager { return s.jobs }
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the job runner: queued builds are cancelled, the
+// in-flight one gets the grace period before its context is cancelled.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.jobs.Shutdown(grace)
+}
+
+func (s *Server) routes() {
+	handle := func(pattern, label string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(label, h))
+	}
+	handle("GET /healthz", "healthz", s.handleHealthz)
+	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("GET /v1/models", "models_list", s.handleModelsList)
+	handle("GET /v1/models/{name}", "model_get", s.handleModelGet)
+	handle("PUT /v1/models/{name}", "model_put", s.handleModelPut)
+	handle("POST /v1/models/{name}", "model_put", s.handleModelPut)
+	handle("DELETE /v1/models/{name}", "model_delete", s.handleModelDelete)
+	handle("POST /v1/predict", "predict", s.handlePredict)
+	handle("POST /v1/sweep", "sweep", s.handleSweep)
+	handle("POST /v1/optimize", "optimize", s.handleOptimize)
+	handle("POST /v1/validate", "validate", s.handleValidate)
+	handle("POST /v1/build", "build", s.handleBuild)
+	handle("GET /v1/jobs", "jobs_list", s.handleJobsList)
+	handle("GET /v1/jobs/{id}", "job_get", s.handleJobGet)
+}
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.Observe(label, sw.status, time.Since(start))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"models":   s.registry.Len(),
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.metrics.Render())
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders the uniform error payload.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON parses a bounded request body, rejecting trailing garbage.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: %v", err)
+		return false
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: trailing data")
+		return false
+	}
+	return true
+}
+
+// readAll slurps a bounded request body.
+func readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+}
+
+// model fetches the named model or answers 404.
+func (s *Server) model(w http.ResponseWriter, name string) (*core.SavedSurfaces, bool) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing model name")
+		return nil, false
+	}
+	ss, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		return nil, false
+	}
+	return ss, true
+}
