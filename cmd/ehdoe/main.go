@@ -28,6 +28,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/report"
 	"repro/internal/rsm"
+	"repro/internal/simcache"
 )
 
 func main() {
@@ -76,6 +77,20 @@ func problem(amp, horizon float64) *core.Problem {
 	return core.StandardProblem(amp, horizon)
 }
 
+// cacheFlags registers the simulation-cache flags on fs and returns a
+// function that wires the configured cache into a problem. A disk tier
+// (-cache-dir) makes repeated builds/validations across invocations reuse
+// each other's simulations.
+func cacheFlags(fs *flag.FlagSet) func(*core.Problem) *simcache.Cache {
+	dir := fs.String("cache-dir", "", "directory for the persistent simulation-cache tier (empty = memory only)")
+	size := fs.Int("cache-size", 256, "in-memory simulation-cache capacity (entries)")
+	return func(p *core.Problem) *simcache.Cache {
+		c := simcache.New(simcache.Options{Capacity: *size, Dir: *dir})
+		p.Runner = c
+		return c
+	}
+}
+
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	designName := fs.String("design", "ccf", "experiment design: ccf, cci, bbd, lhs or dopt")
@@ -85,10 +100,12 @@ func cmdBuild(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for randomized designs")
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
 	out := fs.String("out", "surfaces.json", "output file")
+	withCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p := problem(*amp, *horizon)
+	cache := withCache(p)
 	k := len(p.Factors)
 	quad := rsm.FullQuadratic(k)
 
@@ -126,6 +143,10 @@ func cmdBuild(args []string) error {
 	t.AddNote("simulation %.0f ms wall (%.0f ms of sim work, %.1f× parallel speedup), fitting %.1f ms; saved to %s",
 		float64(ds.SimTime.Milliseconds()), float64(ds.SimWork.Milliseconds()), ds.Speedup(),
 		float64(s.FitTime.Microseconds())/1e3, *out)
+	if st := cache.Stats(); st.Hits+st.DiskHits+st.DedupHits > 0 {
+		t.AddNote("simulation cache: %d hits, %d disk hits, %d deduped, %d misses",
+			st.Hits, st.DiskHits, st.DedupHits, st.Misses)
+	}
 	fmt.Println(t.String())
 	return nil
 }
@@ -290,6 +311,7 @@ func cmdOptimize(args []string) error {
 	confirm := fs.Bool("confirm", false, "confirm the optimum with one fresh simulation")
 	amp := fs.Float64("amp", 0.6, "excitation amplitude for the confirming run")
 	seed := fs.Int64("seed", 1, "multi-start seed")
+	withCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -334,6 +356,7 @@ func cmdOptimize(args []string) error {
 	t.AddNote("predicted %s = %.5g (%d surface evaluations)", id, pred, best.Evals)
 	if *confirm {
 		p := problem(*amp, ss.Horizon)
+		withCache(p)
 		resp, err := p.ResponsesAt(best.X)
 		if err != nil {
 			return err
@@ -350,6 +373,7 @@ func cmdValidate(args []string) error {
 	n := fs.Int("n", 10, "number of fresh validation simulations")
 	amp := fs.Float64("amp", 0.6, "excitation amplitude")
 	seed := fs.Int64("seed", 1, "validation-point seed")
+	withCache := cacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -358,6 +382,7 @@ func cmdValidate(args []string) error {
 		return err
 	}
 	p := problem(*amp, ss.Horizon)
+	withCache(p)
 	rng := rand.New(rand.NewSource(*seed))
 	t := report.NewTable(fmt.Sprintf("validation at %d fresh points", *n),
 		"response", "mean_abs_err", "max_abs_err")

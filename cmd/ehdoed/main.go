@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/simcache"
 )
 
 func main() {
@@ -46,9 +47,12 @@ func main() {
 	models := flag.String("models", "", "directory of saved-surfaces *.json to load at startup")
 	queue := flag.Int("queue", 8, "build-job queue capacity")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight builds")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent simulation-cache tier (empty = memory only)")
+	cacheSize := flag.Int("cache-size", 512, "in-memory simulation-cache capacity (entries)")
 	flag.Parse()
 
-	srv, err := serve.New(serve.Config{ModelsDir: *models, QueueCap: *queue})
+	cache := simcache.New(simcache.Options{Capacity: *cacheSize, Dir: *cacheDir})
+	srv, err := serve.New(serve.Config{ModelsDir: *models, QueueCap: *queue, Cache: cache})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)
 		os.Exit(1)

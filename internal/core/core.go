@@ -27,6 +27,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/rsm"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/vibration"
 )
 
@@ -97,7 +98,26 @@ type Problem struct {
 	DtSlow  float64
 	// Engine runs one simulation; defaults to sim.RunFast.
 	Engine func(sim.Design, sim.Config) (*sim.Result, error)
+	// EngineName identifies Engine for content-addressed caching. It is
+	// implied for the default engine (EngineFast); a custom Engine with no
+	// name bypasses the cache, since a closure cannot be fingerprinted.
+	EngineName string
+	// Runner executes simulations, by default through the process-wide
+	// simulation cache (DefaultRunner). Set simcache.Direct{} to force
+	// every run, or a dedicated *simcache.Cache for isolated caching.
+	Runner simcache.Runner
 }
+
+// Engine names understood by the standard problems.
+const (
+	EngineFast      = "fast"      // sim.RunFast (linearized state-space)
+	EngineReference = "reference" // sim.RunReference (Newton–Raphson)
+)
+
+// DefaultRunner is the simulation runner used by Problems that don't set
+// their own: a shared in-memory cache. Replace with simcache.Direct{} to
+// disable caching process-wide.
+var DefaultRunner simcache.Runner = simcache.New(simcache.Options{})
 
 // Validate checks the problem definition.
 func (p *Problem) Validate() error {
@@ -128,6 +148,34 @@ func (p *Problem) engine() func(sim.Design, sim.Config) (*sim.Result, error) {
 	return sim.RunFast
 }
 
+// engineName returns the cache identity of the problem's engine; empty
+// means "unnameable" (a custom Engine without an EngineName) and disables
+// caching for this problem.
+func (p *Problem) engineName() string {
+	if p.EngineName != "" {
+		return p.EngineName
+	}
+	if p.Engine == nil {
+		return EngineFast
+	}
+	return ""
+}
+
+// runSim executes one simulation through the problem's Runner (the shared
+// cache by default). Results may be served from the cache and must be
+// treated as immutable by callers.
+func (p *Problem) runSim(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	name := p.engineName()
+	if name == "" {
+		return p.engine()(d, cfg)
+	}
+	r := p.Runner
+	if r == nil {
+		r = DefaultRunner
+	}
+	return r.Run(name, p.engine(), d, cfg)
+}
+
 // SimulateCoded runs one simulation at a coded design point and returns
 // the raw result.
 func (p *Problem) SimulateCoded(coded []float64) (*sim.Result, error) {
@@ -140,7 +188,7 @@ func (p *Problem) SimulateCoded(coded []float64) (*sim.Result, error) {
 		return nil, err
 	}
 	cfg := sim.Config{Horizon: p.Horizon, DtSlow: p.DtSlow, Source: sc.Source}
-	return p.engine()(sc.Design, cfg)
+	return p.runSim(sc.Design, cfg)
 }
 
 // ResponsesAt runs one simulation at a coded point and extracts every

@@ -84,6 +84,13 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 					return
 				default:
 				}
+				// The abort channel closes asynchronously (AfterFunc); check
+				// the context directly too, so cancellation stops the handout
+				// even when runs are answered instantly from the sim cache.
+				if ctx.Err() != nil {
+					fail(fmt.Errorf("core: design run aborted: %w", context.Cause(ctx)))
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= d.N() {
 					return

@@ -12,6 +12,7 @@
 package node
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -179,6 +180,40 @@ type Counters struct {
 	DownTime     float64 // seconds unpowered
 	RailEnergy   float64 // energy drawn from the rail (J)
 	FirstTxTime  float64 // time of first packet (s); NaN if none
+}
+
+// countersJSON shadows FirstTxTime with a pointer so the "no packet yet"
+// NaN sentinel — which encoding/json rejects — round-trips as null.
+type countersJSON struct {
+	countersAlias
+	FirstTxTime *float64 `json:"FirstTxTime"`
+}
+
+type countersAlias Counters
+
+// MarshalJSON encodes FirstTxTime's NaN sentinel as null.
+func (c Counters) MarshalJSON() ([]byte, error) {
+	cj := countersJSON{countersAlias: countersAlias(c)}
+	if !math.IsNaN(c.FirstTxTime) {
+		v := c.FirstTxTime
+		cj.FirstTxTime = &v
+	}
+	return json.Marshal(cj)
+}
+
+// UnmarshalJSON restores the NaN sentinel from null (or a missing field).
+func (c *Counters) UnmarshalJSON(b []byte) error {
+	var cj countersJSON
+	if err := json.Unmarshal(b, &cj); err != nil {
+		return err
+	}
+	*c = Counters(cj.countersAlias)
+	if cj.FirstTxTime != nil {
+		c.FirstTxTime = *cj.FirstTxTime
+	} else {
+		c.FirstTxTime = math.NaN()
+	}
+	return nil
 }
 
 // Node is the sensor-node state machine.

@@ -1,7 +1,9 @@
 package node
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -305,5 +307,46 @@ func BenchmarkNodeStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step(1e-3, true, 3.5)
+	}
+}
+
+func TestCountersJSONRoundTrip(t *testing.T) {
+	// The NaN "no packet yet" sentinel must survive JSON — the simulation
+	// cache persists Counters inside sim.Result disk entries.
+	c := Counters{Measurements: 3, Packets: 0, UpTime: 12.5, FirstTxTime: math.NaN()}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"FirstTxTime":null`) {
+		t.Fatalf("NaN sentinel not encoded as null: %s", b)
+	}
+	var back Counters
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.FirstTxTime) {
+		t.Fatalf("sentinel lost: %v", back.FirstTxTime)
+	}
+	back.FirstTxTime, c.FirstTxTime = 0, 0
+	if back != c {
+		t.Fatalf("round trip altered counters: %+v vs %+v", back, c)
+	}
+
+	// A finite first-tx time round-trips as a plain number, and a document
+	// omitting the field restores the sentinel.
+	c.FirstTxTime = 4.25
+	b, _ = json.Marshal(c)
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.FirstTxTime != 4.25 {
+		t.Fatalf("finite value lost: %v", back.FirstTxTime)
+	}
+	if err := json.Unmarshal([]byte(`{"Packets":1}`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.FirstTxTime) {
+		t.Fatal("missing field must restore the NaN sentinel")
 	}
 }

@@ -83,6 +83,30 @@ func (b Bounds) Random(rng *rand.Rand) []float64 {
 	return x
 }
 
+// Quantized wraps an objective so every evaluation snaps its point to a
+// lattice with `step` fraction-of-range resolution per dimension (e.g.
+// 0.05 → 21 levels across each range). Stochastic searchers like SA and GA
+// then revisit exact points instead of infinitesimally-near neighbours; a
+// memoizing simulation layer (internal/simcache) then answers the revisits
+// for free, at the cost of bounded quantization error in the optimum.
+func Quantized(f Objective, b Bounds, step float64) (Objective, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if !(step > 0 && step <= 1) {
+		return nil, fmt.Errorf("opt: quantization step %g must be in (0, 1]", step)
+	}
+	return func(x []float64) float64 {
+		q := make([]float64, len(x))
+		for i := range x {
+			w := (b.Hi[i] - b.Lo[i]) * step
+			q[i] = b.Lo[i] + math.Round((x[i]-b.Lo[i])/w)*w
+		}
+		b.Clamp(q)
+		return f(q)
+	}, nil
+}
+
 // counter wraps an objective with an evaluation counter.
 type counter struct {
 	f Objective

@@ -228,3 +228,42 @@ func TestMaximize(t *testing.T) {
 		t.Fatalf("maximized at %v, want origin", res.X)
 	}
 }
+
+func TestQuantized(t *testing.T) {
+	b := NewBounds(2)
+	var got [][]float64
+	f := func(x []float64) float64 {
+		got = append(got, append([]float64(nil), x...))
+		return x[0] + x[1]
+	}
+	q, err := Quantized(f, b, 0.25) // lattice −1, −0.5, 0, 0.5, 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	q([]float64{0.24, -0.26})
+	q([]float64{0.26, 0.9})
+	q([]float64{5, -5}) // clamped to the box
+	want := [][]float64{{0, -0.5}, {0.5, 1}, {1, -1}}
+	for i, w := range want {
+		for j := range w {
+			if got[i][j] != w[j] {
+				t.Fatalf("call %d: snapped to %v, want %v", i, got[i], w)
+			}
+		}
+	}
+	// Nearby proposals collapse onto the same lattice point — the property
+	// that makes simulator memoization effective under SA/GA.
+	if q([]float64{0.01, 0.02}) != q([]float64{-0.02, -0.01}) {
+		t.Fatal("neighbours must share a lattice point")
+	}
+	// Errors.
+	if _, err := Quantized(f, Bounds{}, 0.1); err == nil {
+		t.Fatal("bad bounds must be rejected")
+	}
+	if _, err := Quantized(f, b, 0); err == nil {
+		t.Fatal("zero step must be rejected")
+	}
+	if _, err := Quantized(f, b, 1.5); err == nil {
+		t.Fatal("step > 1 must be rejected")
+	}
+}

@@ -143,12 +143,18 @@ type OptimizeResponse struct {
 }
 
 // ValidateRequest asks for confirming simulations: n fresh random points
-// simulated and compared against the surface predictions.
+// simulated and compared against the surface predictions. Excite and
+// Horizon make the simulated problem explicit; omitted they fall back to
+// the legacy implicit behaviour (amp, then 0.6; the model's horizon).
 type ValidateRequest struct {
-	Model string  `json:"model"`
-	N     int     `json:"n,omitempty"`
-	Seed  int64   `json:"seed,omitempty"`
-	Amp   float64 `json:"amp,omitempty"`
+	Model string `json:"model"`
+	N     int    `json:"n,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	// Amp is the legacy name for the excitation amplitude; Excite wins
+	// when both are set.
+	Amp     float64 `json:"amp,omitempty"`
+	Excite  float64 `json:"excite,omitempty"`
+	Horizon float64 `json:"horizon_s,omitempty"`
 }
 
 // ValidateRow is the accuracy summary of one response.
@@ -175,7 +181,10 @@ type BuildRequest struct {
 	Design  string  `json:"design,omitempty"`
 	Runs    int     `json:"runs,omitempty"`
 	Horizon float64 `json:"horizon_s,omitempty"`
+	// Amp is the legacy name for the excitation amplitude; Excite wins
+	// when both are set (default 0.6).
 	Amp     float64 `json:"amp,omitempty"`
+	Excite  float64 `json:"excite,omitempty"`
 	Seed    int64   `json:"seed,omitempty"`
 	Workers int     `json:"workers,omitempty"`
 }
@@ -200,6 +209,13 @@ type JobView struct {
 	R2         map[string]float64 `json:"r2,omitempty"`
 }
 
+// JobsResponse is a page of job snapshots. NextAfter, when set, is the
+// cursor for the next page (`?after=<id>`).
+type JobsResponse struct {
+	Jobs      []JobView `json:"jobs"`
+	NextAfter string    `json:"next_after,omitempty"`
+}
+
 func stamp(t time.Time) string {
 	if t.IsZero() {
 		return ""
@@ -207,7 +223,20 @@ func stamp(t time.Time) string {
 	return t.UTC().Format(time.RFC3339Nano)
 }
 
-// errorBody is the uniform error payload.
+// errorBody is the uniform error payload: every non-2xx response carries a
+// human-readable message plus a machine-readable code from the set below.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
+
+// Machine-readable error codes carried by errorBody.Code.
+const (
+	codeInvalidRequest = "invalid_request" // malformed body, bad field values
+	codeNotFound       = "not_found"       // unknown model or job
+	codeConflict       = "conflict"        // request inconsistent with server state
+	codeQueueFull      = "queue_full"      // build queue at capacity
+	codeShuttingDown   = "shutting_down"   // server is draining
+	codeClientClosed   = "client_closed"   // client disconnected mid-work
+	codeInternal       = "internal"        // unexpected server-side failure
+)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -38,17 +39,17 @@ func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing model name")
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "missing model name")
 		return
 	}
 	body, err := readAll(w, r, s.maxBody)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "reading body: %v", err)
 		return
 	}
 	ss, err := core.DecodeSurfaces(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
 	}
 	_, existed := s.registry.Get(name)
@@ -63,7 +64,7 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.registry.Delete(name) {
-		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown model %q", name)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -87,7 +88,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		points = append([][]float64{req.Point}, points...)
 	}
 	if len(points) == 0 {
-		writeError(w, http.StatusBadRequest, "need a point or points")
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "need a point or points")
 		return
 	}
 	units, natural, ok := parseUnits(w, req.Units)
@@ -100,7 +101,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		for i, p := range points {
 			c, err := ss.EncodePoint(p)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "point %d: %v", i, err)
+				writeError(w, http.StatusBadRequest, codeInvalidRequest, "point %d: %v", i, err)
 				return
 			}
 			coded[i] = c
@@ -109,7 +110,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		k := len(ss.Factors)
 		for i, p := range coded {
 			if len(p) != k {
-				writeError(w, http.StatusBadRequest, "point %d has %d coordinates, model wants %d", i, len(p), k)
+				writeError(w, http.StatusBadRequest, codeInvalidRequest, "point %d has %d coordinates, model wants %d", i, len(p), k)
 				return
 			}
 		}
@@ -125,7 +126,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for _, id := range ids {
 		vals, err := ss.PredictBatch(id, coded)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 			return
 		}
 		for i, v := range vals {
@@ -146,12 +147,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	id := core.ResponseID(req.Response)
 	if _, ok := ss.Coef[id]; !ok {
-		writeError(w, http.StatusBadRequest, "model has no response %q", req.Response)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "model has no response %q", req.Response)
 		return
 	}
 	fi := factorIndex(ss, req.Factor)
 	if fi < 0 {
-		writeError(w, http.StatusBadRequest, "unknown factor %q", req.Factor)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "unknown factor %q", req.Factor)
 		return
 	}
 	n := req.Points
@@ -159,17 +160,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		n = 21
 	}
 	if n < 2 || n > 100_000 {
-		writeError(w, http.StatusBadRequest, "points %d outside 2..100000", n)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "points %d outside 2..100000", n)
 		return
 	}
 	base, err := basePoint(ss, req.At)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
 	}
 	pred, err := ss.Predictor(id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		return
 	}
 	f := ss.Factors[fi]
@@ -204,7 +205,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	id := core.ResponseID(req.Response)
 	pred, err := ss.Predictor(id)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "model has no response %q", req.Response)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "model has no response %q", req.Response)
 		return
 	}
 	starts := req.Starts
@@ -212,7 +213,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		starts = 6
 	}
 	if starts > 1000 {
-		writeError(w, http.StatusBadRequest, "starts %d outside 1..1000", req.Starts)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "starts %d outside 1..1000", req.Starts)
 		return
 	}
 	obj := opt.Objective(pred)
@@ -226,7 +227,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < starts; i++ {
 		res, err := opt.NelderMead(obj, bounds, bounds.Random(rng), opt.NelderMeadConfig{MaxIters: 400})
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 			return
 		}
 		evals += res.Evals
@@ -261,16 +262,30 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		n = 10
 	}
 	if n < 1 || n > 1000 {
-		writeError(w, http.StatusBadRequest, "n %d outside 1..1000", req.N)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "n %d outside 1..1000", req.N)
 		return
 	}
-	amp := req.Amp
+	// Explicit problem spec (excite/horizon_s); Excite wins over the
+	// legacy amp, omitted fields keep the implicit defaults.
+	if req.Excite < 0 || req.Horizon < 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			"excite %g and horizon_s %g must be non-negative", req.Excite, req.Horizon)
+		return
+	}
+	amp := req.Excite
+	if amp == 0 {
+		amp = req.Amp
+	}
 	if amp <= 0 {
 		amp = 0.6
 	}
-	p := s.problem(amp, ss.Horizon)
+	horizon := req.Horizon
+	if horizon == 0 {
+		horizon = ss.Horizon
+	}
+	p := s.problem(amp, horizon)
 	if len(p.Factors) != len(ss.Factors) {
-		writeError(w, http.StatusConflict,
+		writeError(w, http.StatusConflict, codeConflict,
 			"model has %d factors but the server problem has %d — validate applies only to models of the served problem",
 			len(ss.Factors), len(p.Factors))
 		return
@@ -286,7 +301,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(ids) == 0 {
-		writeError(w, http.StatusConflict, "model and server problem share no responses")
+		writeError(w, http.StatusConflict, codeConflict, "model and server problem share no responses")
 		return
 	}
 	rng := rand.New(rand.NewSource(req.Seed))
@@ -295,7 +310,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		if err := r.Context().Err(); err != nil {
-			writeError(w, statusClientClosedRequest, "validation aborted: %v", err)
+			writeError(w, statusClientClosedRequest, codeClientClosed, "validation aborted: %v", err)
 			return
 		}
 		x := make([]float64, len(ss.Factors))
@@ -304,13 +319,13 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		}
 		sim, err := p.ResponsesAt(x)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "simulation %d failed: %v", i, err)
+			writeError(w, http.StatusInternalServerError, codeInternal, "simulation %d failed: %v", i, err)
 			return
 		}
 		for _, id := range ids {
 			pred, err := ss.Predict(id, x)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, "%v", err)
+				writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 				return
 			}
 			e := math.Abs(pred - sim[id])
@@ -341,11 +356,14 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.jobs.Submit(req)
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-			return
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusServiceUnavailable, codeQueueFull, "%v", err)
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		}
-		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, struct {
@@ -353,17 +371,47 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}{Job: job})
 }
 
+// handleJobsList pages through job history: ?state= filters by lifecycle
+// state, ?after=<id> resumes past a cursor, ?limit= bounds the page.
 func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Jobs []JobView `json:"jobs"`
-	}{Jobs: s.jobs.List()})
+	q := r.URL.Query()
+	state := JobState(q.Get("state"))
+	switch state {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+	default:
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			"unknown state %q (want queued|running|done|failed|canceled)", string(state))
+		return
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "limit %q must be a positive integer", raw)
+			return
+		}
+		limit = n
+	}
+	after := q.Get("after")
+	if after != "" {
+		if _, ok := s.jobs.Get(after); !ok {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "unknown after cursor %q", after)
+			return
+		}
+	}
+	jobs, more := s.jobs.ListPage(state, after, limit)
+	resp := JobsResponse{Jobs: jobs}
+	if more && len(jobs) > 0 {
+		resp.NextAfter = jobs[len(jobs)-1].ID
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.jobs.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -377,7 +425,7 @@ func parseUnits(w http.ResponseWriter, units string) (string, bool, bool) {
 	case "coded":
 		return "coded", false, true
 	}
-	writeError(w, http.StatusBadRequest, "units %q must be \"natural\" or \"coded\"", units)
+	writeError(w, http.StatusBadRequest, codeInvalidRequest, "units %q must be \"natural\" or \"coded\"", units)
 	return "", false, false
 }
 
@@ -390,7 +438,7 @@ func resolveResponses(w http.ResponseWriter, ss *core.SavedSurfaces, names []str
 	for i, name := range names {
 		id := core.ResponseID(name)
 		if _, ok := ss.Coef[id]; !ok {
-			writeError(w, http.StatusBadRequest, "model has no response %q", name)
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "model has no response %q", name)
 			return nil, false
 		}
 		ids[i] = id

@@ -125,8 +125,17 @@ func (m *JobManager) Submit(req BuildRequest) (JobView, error) {
 	if req.Design == "" {
 		req.Design = "ccf"
 	}
-	if req.Horizon <= 0 {
+	if req.Horizon < 0 || req.Excite < 0 {
+		return JobView{}, fmt.Errorf("serve: horizon_s %g and excite %g must be non-negative", req.Horizon, req.Excite)
+	}
+	if req.Horizon == 0 {
 		req.Horizon = 60
+	}
+	// Excite is the explicit spelling of the excitation amplitude; it wins
+	// over the legacy Amp, and the resolved value lands in Amp so job
+	// snapshots always report what was simulated.
+	if req.Excite > 0 {
+		req.Amp = req.Excite
 	}
 	if req.Amp <= 0 {
 		req.Amp = 0.6
@@ -140,7 +149,7 @@ func (m *JobManager) Submit(req BuildRequest) (JobView, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return JobView{}, fmt.Errorf("serve: job manager is shutting down")
+		return JobView{}, ErrShuttingDown
 	}
 	m.nextID++
 	j := &Job{
@@ -160,8 +169,12 @@ func (m *JobManager) Submit(req BuildRequest) (JobView, error) {
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at capacity;
-// the HTTP layer maps it to 503.
+// the HTTP layer maps it to 503/queue_full.
 var ErrQueueFull = fmt.Errorf("serve: build queue is full")
+
+// ErrShuttingDown is returned by Submit once Shutdown has begun; the HTTP
+// layer maps it to 503/shutting_down.
+var ErrShuttingDown = fmt.Errorf("serve: job manager is shutting down")
 
 // Get returns the snapshot of one job.
 func (m *JobManager) Get(id string) (JobView, bool) {
@@ -176,13 +189,38 @@ func (m *JobManager) Get(id string) (JobView, bool) {
 
 // List returns snapshots of every job in submission order.
 func (m *JobManager) List() []JobView {
+	out, _ := m.ListPage("", "", 0)
+	return out
+}
+
+// ListPage returns job snapshots in submission order, optionally filtered
+// by state, starting after the given job ID (exclusive cursor; empty =
+// from the beginning) and bounded by limit (<=0 = unbounded). more reports
+// whether matching jobs remain past the page.
+func (m *JobManager) ListPage(state JobState, after string, limit int) (page []JobView, more bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]JobView, 0, len(m.order))
-	for _, id := range m.order {
-		out = append(out, m.jobs[id].view())
+	start := 0
+	if after != "" {
+		for i, id := range m.order {
+			if id == after {
+				start = i + 1
+				break
+			}
+		}
 	}
-	return out
+	page = []JobView{}
+	for _, id := range m.order[start:] {
+		j := m.jobs[id]
+		if state != "" && j.State != state {
+			continue
+		}
+		if limit > 0 && len(page) == limit {
+			return page, true
+		}
+		page = append(page, j.view())
+	}
+	return page, false
 }
 
 // Shutdown stops accepting jobs, cancels everything still queued, and

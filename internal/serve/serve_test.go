@@ -357,26 +357,34 @@ func TestErrorPaths(t *testing.T) {
 		path   string
 		body   string
 		want   int
+		code   string
 	}{
-		{"malformed predict JSON", "POST", "/v1/predict", `{"model":`, http.StatusBadRequest},
-		{"trailing garbage", "POST", "/v1/predict", `{"model":"m","point":[5,0.05,3,0]} extra`, http.StatusBadRequest},
-		{"unknown model predict", "POST", "/v1/predict", `{"model":"nope","point":[5,0.05,3,0]}`, http.StatusNotFound},
-		{"no points", "POST", "/v1/predict", `{"model":"m"}`, http.StatusBadRequest},
-		{"bad units", "POST", "/v1/predict", `{"model":"m","point":[5,0.05,3,0],"units":"furlongs"}`, http.StatusBadRequest},
-		{"wrong dimension", "POST", "/v1/predict", `{"model":"m","point":[5,0.05]}`, http.StatusBadRequest},
-		{"unknown response", "POST", "/v1/predict", `{"model":"m","point":[5,0.05,3,0],"responses":["nope"]}`, http.StatusBadRequest},
-		{"unknown model sweep", "POST", "/v1/sweep", `{"model":"nope","response":"packets","factor":"period"}`, http.StatusNotFound},
-		{"unknown factor sweep", "POST", "/v1/sweep", `{"model":"m","response":"packets","factor":"nope"}`, http.StatusBadRequest},
-		{"unknown response sweep", "POST", "/v1/sweep", `{"model":"m","response":"nope","factor":"period"}`, http.StatusBadRequest},
-		{"bad at-factor sweep", "POST", "/v1/sweep", `{"model":"m","response":"packets","factor":"period","at":{"nope":1}}`, http.StatusBadRequest},
-		{"unknown response optimize", "POST", "/v1/optimize", `{"model":"m","response":"nope"}`, http.StatusBadRequest},
-		{"unknown model optimize", "POST", "/v1/optimize", `{"model":"nope","response":"packets"}`, http.StatusNotFound},
-		{"unknown model validate", "POST", "/v1/validate", `{"model":"nope"}`, http.StatusNotFound},
-		{"validate n too large", "POST", "/v1/validate", `{"model":"m","n":100000}`, http.StatusBadRequest},
-		{"build without model", "POST", "/v1/build", `{"design":"ccf"}`, http.StatusBadRequest},
-		{"build unknown design", "POST", "/v1/build", `{"model":"x","design":"nope"}`, http.StatusBadRequest},
-		{"unknown job", "GET", "/v1/jobs/job-999999", "", http.StatusNotFound},
-		{"unknown model get", "GET", "/v1/models/nope", "", http.StatusNotFound},
+		{"malformed predict JSON", "POST", "/v1/predict", `{"model":`, http.StatusBadRequest, codeInvalidRequest},
+		{"trailing garbage", "POST", "/v1/predict", `{"model":"m","point":[5,0.05,3,0]} extra`, http.StatusBadRequest, codeInvalidRequest},
+		{"unknown model predict", "POST", "/v1/predict", `{"model":"nope","point":[5,0.05,3,0]}`, http.StatusNotFound, codeNotFound},
+		{"no points", "POST", "/v1/predict", `{"model":"m"}`, http.StatusBadRequest, codeInvalidRequest},
+		{"bad units", "POST", "/v1/predict", `{"model":"m","point":[5,0.05,3,0],"units":"furlongs"}`, http.StatusBadRequest, codeInvalidRequest},
+		{"wrong dimension", "POST", "/v1/predict", `{"model":"m","point":[5,0.05]}`, http.StatusBadRequest, codeInvalidRequest},
+		{"unknown response", "POST", "/v1/predict", `{"model":"m","point":[5,0.05,3,0],"responses":["nope"]}`, http.StatusBadRequest, codeInvalidRequest},
+		{"unknown model sweep", "POST", "/v1/sweep", `{"model":"nope","response":"packets","factor":"period"}`, http.StatusNotFound, codeNotFound},
+		{"unknown factor sweep", "POST", "/v1/sweep", `{"model":"m","response":"packets","factor":"nope"}`, http.StatusBadRequest, codeInvalidRequest},
+		{"unknown response sweep", "POST", "/v1/sweep", `{"model":"m","response":"nope","factor":"period"}`, http.StatusBadRequest, codeInvalidRequest},
+		{"bad at-factor sweep", "POST", "/v1/sweep", `{"model":"m","response":"packets","factor":"period","at":{"nope":1}}`, http.StatusBadRequest, codeInvalidRequest},
+		{"unknown response optimize", "POST", "/v1/optimize", `{"model":"m","response":"nope"}`, http.StatusBadRequest, codeInvalidRequest},
+		{"unknown model optimize", "POST", "/v1/optimize", `{"model":"nope","response":"packets"}`, http.StatusNotFound, codeNotFound},
+		{"unknown model validate", "POST", "/v1/validate", `{"model":"nope"}`, http.StatusNotFound, codeNotFound},
+		{"validate n too large", "POST", "/v1/validate", `{"model":"m","n":100000}`, http.StatusBadRequest, codeInvalidRequest},
+		{"validate negative excite", "POST", "/v1/validate", `{"model":"m","excite":-1}`, http.StatusBadRequest, codeInvalidRequest},
+		{"validate negative horizon", "POST", "/v1/validate", `{"model":"m","horizon_s":-5}`, http.StatusBadRequest, codeInvalidRequest},
+		{"build without model", "POST", "/v1/build", `{"design":"ccf"}`, http.StatusBadRequest, codeInvalidRequest},
+		{"build unknown design", "POST", "/v1/build", `{"model":"x","design":"nope"}`, http.StatusBadRequest, codeInvalidRequest},
+		{"build negative excite", "POST", "/v1/build", `{"model":"x","excite":-0.5}`, http.StatusBadRequest, codeInvalidRequest},
+		{"unknown job", "GET", "/v1/jobs/job-999999", "", http.StatusNotFound, codeNotFound},
+		{"unknown model get", "GET", "/v1/models/nope", "", http.StatusNotFound, codeNotFound},
+		{"jobs bad state", "GET", "/v1/jobs?state=flying", "", http.StatusBadRequest, codeInvalidRequest},
+		{"jobs bad limit", "GET", "/v1/jobs?limit=zero", "", http.StatusBadRequest, codeInvalidRequest},
+		{"jobs negative limit", "GET", "/v1/jobs?limit=-3", "", http.StatusBadRequest, codeInvalidRequest},
+		{"jobs unknown cursor", "GET", "/v1/jobs?after=job-424242", "", http.StatusBadRequest, codeInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -400,6 +408,9 @@ func TestErrorPaths(t *testing.T) {
 				var eb errorBody
 				if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
 					t.Fatalf("error payload not uniform: %s", body)
+				}
+				if eb.Code != tc.code {
+					t.Fatalf("error code %q, want %q (%s)", eb.Code, tc.code, body)
 				}
 			}
 		})

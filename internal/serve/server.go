@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/simcache"
 )
 
 // Config configures a Server.
@@ -22,6 +23,9 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 32 MiB — model uploads
 	// embed the raw experiment).
 	MaxBodyBytes int64
+	// Cache memoizes the simulations behind builds and validations; nil
+	// means a fresh in-memory cache (512 entries, no disk tier).
+	Cache *simcache.Cache
 }
 
 // Server wires the registry, job manager and metrics into an http.Handler.
@@ -30,6 +34,7 @@ type Server struct {
 	jobs     *JobManager
 	metrics  *Metrics
 	problem  ProblemFactory
+	cache    *simcache.Cache
 	maxBody  int64
 	mux      *http.ServeMux
 	started  time.Time
@@ -41,6 +46,19 @@ func New(cfg Config) (*Server, error) {
 	if problem == nil {
 		problem = core.StandardProblem
 	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = simcache.New(simcache.Options{})
+	}
+	// Route every problem the factory makes through the server's cache,
+	// unless the factory wired its own runner.
+	cached := func(amp, horizon float64) *core.Problem {
+		p := problem(amp, horizon)
+		if p.Runner == nil {
+			p.Runner = cache
+		}
+		return p
+	}
 	maxBody := cfg.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = 32 << 20
@@ -48,7 +66,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		registry: NewRegistry(),
 		metrics:  NewMetrics(),
-		problem:  problem,
+		problem:  cached,
+		cache:    cache,
 		maxBody:  maxBody,
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
@@ -58,7 +77,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	s.jobs = NewJobManager(s.registry, problem, cfg.QueueCap)
+	s.jobs = NewJobManager(s.registry, s.problem, cfg.QueueCap)
 	s.routes()
 	return s, nil
 }
@@ -128,7 +147,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write(s.metrics.Render())
+	b := s.metrics.Render()
+	b = simcache.RenderMetrics(b, "ehdoed_simcache", s.cache.Stats())
+	w.Write(b)
 }
 
 // writeJSON renders v with the given status.
@@ -140,21 +161,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeError renders the uniform error payload.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// writeError renders the uniform error payload: message plus machine-
+// readable code.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // decodeJSON parses a bounded request body, rejecting trailing garbage.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON body: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "malformed JSON body: %v", err)
 		return false
 	}
 	var extra json.RawMessage
 	if err := dec.Decode(&extra); err != io.EOF {
-		writeError(w, http.StatusBadRequest, "malformed JSON body: trailing data")
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "malformed JSON body: trailing data")
 		return false
 	}
 	return true
@@ -168,12 +190,12 @@ func readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error
 // model fetches the named model or answers 404.
 func (s *Server) model(w http.ResponseWriter, name string) (*core.SavedSurfaces, bool) {
 	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing model name")
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "missing model name")
 		return nil, false
 	}
 	ss, ok := s.registry.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown model %q", name)
 		return nil, false
 	}
 	return ss, true

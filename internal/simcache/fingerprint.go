@@ -1,0 +1,132 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// maxHashDepth bounds the reflection walk. Every design/config in this
+// codebase is a few levels deep; a value that nests past this is almost
+// certainly cyclic and must not hang the hasher.
+const maxHashDepth = 64
+
+// Fingerprint returns a stable hex digest of the values' deep contents —
+// the cache key of a simulation request. The walk covers unexported fields
+// (vibration sources keep their pre-generated lattices private), tags
+// every interface value with its concrete type (two policies with equal
+// fields but different types must never alias), dereferences pointers so
+// independently built but structurally identical inputs share a digest,
+// and encodes floats bit-exactly. Kinds that cannot be introspected
+// deterministically — funcs, channels, unsafe pointers — yield an error;
+// callers treat that as "uncacheable" and run the simulation directly.
+func Fingerprint(vals ...any) (string, error) {
+	h := sha256.New()
+	for _, v := range vals {
+		if err := hashValue(h, reflect.ValueOf(v), 0); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func hashValue(h hash.Hash, v reflect.Value, depth int) error {
+	if depth > maxHashDepth {
+		return fmt.Errorf("simcache: value nests deeper than %d levels (cyclic?)", maxHashDepth)
+	}
+	if !v.IsValid() {
+		writeString(h, "<nil>")
+		return nil
+	}
+	t := v.Type()
+	writeString(h, t.String())
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			writeUint64(h, 1)
+		} else {
+			writeUint64(h, 0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		writeUint64(h, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		writeUint64(h, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		writeUint64(h, math.Float64bits(v.Float()))
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		writeUint64(h, math.Float64bits(real(c)))
+		writeUint64(h, math.Float64bits(imag(c)))
+	case reflect.String:
+		writeString(h, v.String())
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			writeString(h, "<nil>")
+			return nil
+		}
+		return hashValue(h, v.Elem(), depth+1)
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			writeString(h, "<nil>")
+			return nil
+		}
+		n := v.Len()
+		writeUint64(h, uint64(n))
+		for i := 0; i < n; i++ {
+			if err := hashValue(h, v.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			writeString(h, t.Field(i).Name)
+			if err := hashValue(h, v.Field(i), depth+1); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			writeString(h, "<nil>")
+			return nil
+		}
+		// Iteration order is random: hash each entry on its own and fold
+		// the sorted digests in, so equal maps hash equal.
+		digests := make([]string, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			sub := sha256.New()
+			if err := hashValue(sub, iter.Key(), depth+1); err != nil {
+				return err
+			}
+			if err := hashValue(sub, iter.Value(), depth+1); err != nil {
+				return err
+			}
+			digests = append(digests, string(sub.Sum(nil)))
+		}
+		sort.Strings(digests)
+		for _, d := range digests {
+			h.Write([]byte(d))
+		}
+	default: // Func, Chan, UnsafePointer
+		return fmt.Errorf("simcache: cannot fingerprint a %s", v.Kind())
+	}
+	return nil
+}
+
+// writeString writes a length-prefixed string so adjacent fields cannot
+// run together into an ambiguous byte stream.
+func writeString(h hash.Hash, s string) {
+	writeUint64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeUint64(h hash.Hash, x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	h.Write(b[:])
+}

@@ -1,0 +1,271 @@
+// Package simcache memoizes whole-node transient simulations. Simulations
+// are the expensive resource of the DoE flow — replicated center points,
+// optimizer revisits and repeated validate requests all re-run identical
+// transients — so results are cached content-addressed by a deep
+// fingerprint of (engine name, sim.Design, sim.Config). The cache has a
+// bounded in-memory LRU tier, an optional JSON disk tier that survives
+// daemon restarts, and single-flight deduplication so concurrent identical
+// requests execute the simulation once and share the result.
+package simcache
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Engine is the simulation entry-point signature shared by sim.RunFast and
+// sim.RunReference.
+type Engine func(sim.Design, sim.Config) (*sim.Result, error)
+
+// Runner executes a simulation request, possibly answering from a cache.
+// engine names the engine so different engines never alias; fn performs
+// the actual run on a miss. Callers must treat the returned Result as
+// shared and immutable.
+type Runner interface {
+	Run(engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error)
+}
+
+// Direct is the no-op Runner: every request runs the simulation.
+type Direct struct{}
+
+func (Direct) Run(_ string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	return fn(d, cfg)
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Hits       uint64 // answered from the in-memory tier
+	Misses     uint64 // executed the simulation
+	DedupHits  uint64 // waited on an identical in-flight run
+	Evictions  uint64 // LRU entries dropped past capacity
+	DiskHits   uint64 // answered from the disk tier
+	DiskWrites uint64 // entries persisted to the disk tier
+	Bypass     uint64 // unhashable requests run directly
+	Entries    int    // current in-memory entries
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Capacity bounds the in-memory tier; <=0 means 512 entries.
+	Capacity int
+	// Dir, when non-empty, enables the disk tier: one JSON file per entry
+	// under this directory, loadable across restarts. The directory is
+	// created on first write.
+	Dir string
+}
+
+type entry struct {
+	key string
+	res *sim.Result
+}
+
+type call struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// Cache is a content-addressed simulation cache with single-flight
+// deduplication. Safe for concurrent use.
+type Cache struct {
+	capacity int
+	dir      string
+
+	mu     sync.Mutex
+	lru    *list.List // front = most recent; values are *entry
+	items  map[string]*list.Element
+	flight map[string]*call
+	stats  Stats
+}
+
+// New returns a Cache with the given options.
+func New(opts Options) *Cache {
+	cap := opts.Capacity
+	if cap <= 0 {
+		cap = 512
+	}
+	return &Cache{
+		capacity: cap,
+		dir:      opts.Dir,
+		lru:      list.New(),
+		items:    make(map[string]*list.Element),
+		flight:   make(map[string]*call),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.lru.Len()
+	return st
+}
+
+// Run implements Runner. Resolution order: in-memory hit → join an
+// identical in-flight run → disk hit → execute. Errors are never cached.
+func (c *Cache) Run(engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	key, err := Fingerprint(engine, d, cfg)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Bypass++
+		c.mu.Unlock()
+		return fn(d, cfg)
+	}
+
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			res := el.Value.(*entry).res
+			c.mu.Unlock()
+			return res, nil
+		}
+		if fl, ok := c.flight[key]; ok {
+			c.stats.DedupHits++
+			c.mu.Unlock()
+			<-fl.done
+			if fl.err == nil {
+				return fl.res, nil
+			}
+			// The leader failed; retry as a fresh request rather than
+			// propagating someone else's (possibly transient) error.
+			continue
+		}
+		fl := &call{done: make(chan struct{})}
+		c.flight[key] = fl
+		c.mu.Unlock()
+
+		fl.res, fl.err = c.fill(key, engine, fn, d, cfg)
+
+		c.mu.Lock()
+		delete(c.flight, key)
+		if fl.err == nil {
+			c.insert(key, fl.res)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return fl.res, fl.err
+	}
+}
+
+// fill resolves a miss: disk tier first, then the engine. Called without
+// the lock held; the single-flight entry guarantees exclusivity per key.
+func (c *Cache) fill(key, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	if res, ok := c.loadDisk(key, engine); ok {
+		c.mu.Lock()
+		c.stats.DiskHits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	res, err := fn(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	c.storeDisk(key, engine, res)
+	return res, nil
+}
+
+// insert adds a result to the LRU tier, evicting past capacity. Caller
+// holds c.mu.
+func (c *Cache) insert(key string, res *sim.Result) {
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	c.items[key] = c.lru.PushFront(&entry{key: key, res: res})
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// diskEntry is the on-disk JSON shape. The engine name is stored redundantly
+// (it is already part of the key) so cache files are self-describing.
+type diskEntry struct {
+	Engine string      `json:"engine"`
+	Result *sim.Result `json:"result"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func (c *Cache) loadDisk(key, engine string) (*sim.Result, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(b, &de); err != nil || de.Result == nil || de.Engine != engine {
+		return nil, false
+	}
+	return de.Result, true
+}
+
+// storeDisk persists best-effort: a result that cannot be marshalled (or a
+// full disk) costs a future re-simulation, not a failed request.
+func (c *Cache) storeDisk(key, engine string, res *sim.Result) {
+	if c.dir == "" {
+		return
+	}
+	b, err := json.Marshal(diskEntry{Engine: engine, Result: res})
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	// Write to a private temp file and rename so concurrent processes
+	// sharing a cache dir never observe a torn entry.
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	c.mu.Lock()
+	c.stats.DiskWrites++
+	c.mu.Unlock()
+}
+
+// RenderMetrics appends the cache counters in Prometheus text format using
+// the given metric-name prefix (e.g. "ehdoed_simcache").
+func RenderMetrics(b []byte, prefix string, st Stats) []byte {
+	add := func(name string, v uint64) {
+		b = append(b, fmt.Sprintf("# TYPE %s_%s_total counter\n%s_%s_total %d\n", prefix, name, prefix, name, v)...)
+	}
+	add("hits", st.Hits)
+	add("misses", st.Misses)
+	add("dedup", st.DedupHits)
+	add("evictions", st.Evictions)
+	add("disk_hits", st.DiskHits)
+	add("disk_writes", st.DiskWrites)
+	add("bypass", st.Bypass)
+	b = append(b, fmt.Sprintf("# TYPE %s_entries gauge\n%s_entries %d\n", prefix, prefix, st.Entries)...)
+	return b
+}

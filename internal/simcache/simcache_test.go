@@ -1,0 +1,358 @@
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+	"repro/internal/vibration"
+)
+
+func testDesign(vth float64) sim.Design {
+	d := sim.DefaultDesign()
+	d.Policy = node.ThresholdPolicy{VThreshold: vth}
+	return d
+}
+
+func testConfig(horizon float64) sim.Config {
+	return sim.Config{Horizon: horizon, Source: vibration.Sine{Amplitude: 0.6, Freq: 52}}
+}
+
+// fakeEngine counts executions and returns a distinct result per call so
+// aliasing bugs (two keys sharing one result) are visible.
+func fakeEngine(calls *atomic.Int64) Engine {
+	return func(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+		n := calls.Add(1)
+		return &sim.Result{HarvestedEnergy: float64(n)}, nil
+	}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	d, cfg := testDesign(3.0), testConfig(10)
+	k1, err := Fingerprint("fast", d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Fingerprint("fast", testDesign(3.0), testConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("identical inputs must share a fingerprint")
+	}
+	// Any field change — including inside an interface — must change the key.
+	variants := []struct {
+		name string
+		key  func() (string, error)
+	}{
+		{"engine", func() (string, error) { return Fingerprint("reference", d, cfg) }},
+		{"policy field", func() (string, error) { return Fingerprint("fast", testDesign(3.1), cfg) }},
+		{"horizon", func() (string, error) { return Fingerprint("fast", d, testConfig(20)) }},
+		{"source concrete type", func() (string, error) {
+			c := cfg
+			ns, err := vibration.NewNoisySine(vibration.Sine{Amplitude: 0.6, Freq: 52}, 0.05, 10, 1e-3, 1)
+			if err != nil {
+				return "", err
+			}
+			c.Source = ns
+			return Fingerprint("fast", d, c)
+		}},
+		{"policy concrete type", func() (string, error) {
+			dd := d
+			dd.Policy = node.AlwaysTransmit{}
+			return Fingerprint("fast", dd, cfg)
+		}},
+		{"tuner nil vs set", func() (string, error) {
+			dd := testDesign(3.0)
+			tc := tuner.DefaultConfig()
+			dd.Tuner = &tc
+			return Fingerprint("fast", dd, cfg)
+		}},
+	}
+	for _, v := range variants {
+		k, err := v.key()
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if k == k1 {
+			t.Fatalf("%s: change did not alter the fingerprint", v.name)
+		}
+	}
+	// NoisySine carries unexported state (its pre-generated sample lattice);
+	// sources differing only there must still separate.
+	c1, c2 := cfg, cfg
+	n1, err := vibration.NewNoisySine(vibration.Sine{Amplitude: 0.6, Freq: 52}, 0.05, 10, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := vibration.NewNoisySine(vibration.Sine{Amplitude: 0.6, Freq: 52}, 0.05, 10, 1e-3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Source, c2.Source = n1, n2
+	ka, _ := Fingerprint("fast", d, c1)
+	kb, _ := Fingerprint("fast", d, c2)
+	if ka == kb {
+		t.Fatal("unexported source state must participate in the fingerprint")
+	}
+}
+
+func TestFingerprintRejectsUnhashableKinds(t *testing.T) {
+	if _, err := Fingerprint(func() {}); err == nil {
+		t.Fatal("func values must be rejected")
+	}
+	if _, err := Fingerprint(struct{ C chan int }{make(chan int)}); err == nil {
+		t.Fatal("chan values must be rejected")
+	}
+}
+
+func TestCacheHitMissCounting(t *testing.T) {
+	var calls atomic.Int64
+	c := New(Options{Capacity: 8})
+	fn := fakeEngine(&calls)
+	d, cfg := testDesign(3.0), testConfig(10)
+
+	r1, err := c.Run("fast", fn, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Run("fast", fn, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("hit must return the cached result pointer")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("engine ran %d times, want 1", calls.Load())
+	}
+	// A different point and a different engine are both fresh.
+	if _, err := c.Run("fast", fn, testDesign(3.2), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run("reference", fn, d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 3 {
+		t.Fatalf("stats %+v, want 1 hit / 3 misses / 3 entries", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var calls atomic.Int64
+	c := New(Options{Capacity: 2})
+	fn := fakeEngine(&calls)
+	cfg := testConfig(10)
+	a, b, d3 := testDesign(3.0), testDesign(3.1), testDesign(3.2)
+
+	c.Run("fast", fn, a, cfg)
+	c.Run("fast", fn, b, cfg)
+	c.Run("fast", fn, a, cfg)  // refresh a: b is now the LRU victim
+	c.Run("fast", fn, d3, cfg) // evicts b
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction / 2 entries", st)
+	}
+	before := calls.Load()
+	c.Run("fast", fn, a, cfg) // still resident
+	if calls.Load() != before {
+		t.Fatal("refreshed entry was evicted")
+	}
+	c.Run("fast", fn, b, cfg) // evicted → re-runs
+	if calls.Load() != before+1 {
+		t.Fatal("evicted entry answered from cache")
+	}
+}
+
+func TestCacheBypassOnUnhashableInput(t *testing.T) {
+	var calls atomic.Int64
+	c := New(Options{})
+	fn := fakeEngine(&calls)
+	d := testDesign(3.0)
+	d.Policy = funcPolicy{decide: func(float64) bool { return true }}
+	cfg := testConfig(10)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Run("fast", fn, d, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("engine ran %d times, want 2 (bypass must never cache)", calls.Load())
+	}
+	if st := c.Stats(); st.Bypass != 2 || st.Entries != 0 {
+		t.Fatalf("stats %+v, want 2 bypasses / 0 entries", st)
+	}
+}
+
+// funcPolicy embeds a func field, making designs that carry it unhashable.
+type funcPolicy struct{ decide func(float64) bool }
+
+func (funcPolicy) Name() string                       { return "func" }
+func (p funcPolicy) ShouldTransmit(v float64) bool    { return p.decide(v) }
+func (funcPolicy) NextPeriod(_, base float64) float64 { return base }
+
+// TestSingleFlightDedup launches many identical concurrent requests while
+// the leader is held inside the engine: exactly one execution, everyone
+// shares its result, and the waiters count as dedup hits. Run with -race.
+func TestSingleFlightDedup(t *testing.T) {
+	const waiters = 7
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	blocking := func(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return &sim.Result{HarvestedEnergy: 42}, nil
+	}
+	c := New(Options{})
+	d, cfg := testDesign(3.0), testConfig(10)
+
+	results := make(chan *sim.Result, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := c.Run("fast", blocking, d, cfg)
+		if err != nil {
+			t.Error(err)
+		}
+		results <- r
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Run("fast", blocking, d, cfg)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- r
+		}()
+	}
+	// The waiters must all register against the in-flight call before the
+	// leader finishes; poll the counter rather than sleeping blind.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().DedupHits < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d dedup hits registered", c.Stats().DedupHits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	if calls.Load() != 1 {
+		t.Fatalf("engine ran %d times, want 1", calls.Load())
+	}
+	var first *sim.Result
+	for r := range results {
+		if first == nil {
+			first = r
+		} else if r != first {
+			t.Fatal("waiters must share the leader's result pointer")
+		}
+	}
+	if st := c.Stats(); st.DedupHits != waiters || st.Misses != 1 {
+		t.Fatalf("stats %+v, want %d dedup hits / 1 miss", st, waiters)
+	}
+}
+
+func TestSingleFlightLeaderErrorNotCached(t *testing.T) {
+	var calls atomic.Int64
+	failing := func(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return &sim.Result{}, nil
+	}
+	c := New(Options{})
+	d, cfg := testDesign(3.0), testConfig(10)
+	if _, err := c.Run("fast", failing, d, cfg); err == nil {
+		t.Fatal("leader error must propagate")
+	}
+	if _, err := c.Run("fast", failing, d, cfg); err != nil {
+		t.Fatalf("second attempt must retry, got %v", err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stats %+v, want exactly the successful entry", st)
+	}
+}
+
+// TestDiskTierRoundTrip runs a REAL short simulation whose node never
+// transmits (vth far above reach), exercising the NaN FirstTxTime path,
+// then reloads it from disk in a fresh cache and demands byte-identical
+// JSON (modulo the wall-clock Elapsed field).
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := testDesign(30) // threshold unreachable → no packets → FirstTxTime NaN
+	cfg := testConfig(2)
+
+	c1 := New(Options{Capacity: 4, Dir: dir})
+	r1, err := c1.Run("fast", sim.RunFast, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Node.Packets != 0 || !math.IsNaN(r1.Node.FirstTxTime) {
+		t.Fatalf("fixture must not transmit: %d packets, first tx %v", r1.Node.Packets, r1.Node.FirstTxTime)
+	}
+	if st := c1.Stats(); st.DiskWrites != 1 {
+		t.Fatalf("stats %+v, want 1 disk write", st)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("cache dir holds %d entries, want 1", len(files))
+	}
+
+	// A fresh cache (simulated restart) must answer from disk, not re-run.
+	c2 := New(Options{Capacity: 4, Dir: dir})
+	r2, err := c2.Run("fast", func(sim.Design, sim.Config) (*sim.Result, error) {
+		t.Fatal("disk hit must not re-run the simulation")
+		return nil, nil
+	}, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats %+v, want 1 disk hit / 0 misses", st)
+	}
+	if got, want := canonicalJSON(t, r2), canonicalJSON(t, r1); got != want {
+		t.Fatalf("disk round-trip altered the result:\n got %s\nwant %s", got, want)
+	}
+
+	// A corrupt entry degrades to a re-run, never an error.
+	if err := os.WriteFile(files[0], []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3 := New(Options{Capacity: 4, Dir: dir})
+	if _, err := c3.Run("fast", sim.RunFast, d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c3.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats %+v, want corrupt entry to count as a miss", st)
+	}
+}
+
+// canonicalJSON renders a result for comparison with the wall-clock field
+// zeroed — Elapsed differs run to run by construction.
+func canonicalJSON(t *testing.T, r *sim.Result) string {
+	t.Helper()
+	cp := *r
+	cp.Elapsed = 0
+	b, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
