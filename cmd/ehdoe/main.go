@@ -17,14 +17,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/report"
 	"repro/internal/rsm"
@@ -91,6 +95,32 @@ func cacheFlags(fs *flag.FlagSet) func(*core.Problem) *simcache.Cache {
 	}
 }
 
+// obsFlags registers the observability flags on fs and returns a function
+// that builds the command's root context: a run-ID-annotated structured
+// logger (simulation, design-run and cache lines all carry the same run
+// ID) plus an optional pprof server for profiling long builds.
+func obsFlags(fs *flag.FlagSet) func() (context.Context, error) {
+	level := fs.String("log-level", "warn", "log level: debug, info, warn or error")
+	format := fs.String("log-format", "text", "log format: text or json")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the command runs")
+	return func() (context.Context, error) {
+		logger, err := obs.NewLogger(os.Stderr, *format, *level)
+		if err != nil {
+			return nil, err
+		}
+		ctx, _ := obs.Annotate(context.Background(), logger, "run-", "")
+		if *pprofAddr != "" {
+			go func() {
+				hs := &http.Server{Addr: *pprofAddr, Handler: obs.PprofHandler()}
+				if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					obs.FromContext(ctx).Warn("pprof server failed", "addr", *pprofAddr, "err", err.Error())
+				}
+			}()
+		}
+		return ctx, nil
+	}
+}
+
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	designName := fs.String("design", "ccf", "experiment design: ccf, cci, bbd, lhs or dopt")
@@ -101,7 +131,12 @@ func cmdBuild(args []string) error {
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
 	out := fs.String("out", "surfaces.json", "output file")
 	withCache := cacheFlags(fs)
+	withObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := withObs()
+	if err != nil {
 		return err
 	}
 	p := problem(*amp, *horizon)
@@ -115,12 +150,7 @@ func cmdBuild(args []string) error {
 	}
 
 	fmt.Printf("running %d simulations (%s, horizon %.0f s)...\n", design.N(), design.Name, *horizon)
-	var ds *core.Dataset
-	if *workers == 1 {
-		ds, err = p.RunDesign(design)
-	} else {
-		ds, err = p.RunDesignParallel(design, *workers)
-	}
+	ds, err := p.RunDesignContext(ctx, design, *workers)
 	if err != nil {
 		return err
 	}
@@ -312,7 +342,12 @@ func cmdOptimize(args []string) error {
 	amp := fs.Float64("amp", 0.6, "excitation amplitude for the confirming run")
 	seed := fs.Int64("seed", 1, "multi-start seed")
 	withCache := cacheFlags(fs)
+	withObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := withObs()
+	if err != nil {
 		return err
 	}
 	ss, err := loadModel(*model)
@@ -357,7 +392,7 @@ func cmdOptimize(args []string) error {
 	if *confirm {
 		p := problem(*amp, ss.Horizon)
 		withCache(p)
-		resp, err := p.ResponsesAt(best.X)
+		resp, err := p.ResponsesAtContext(ctx, best.X)
 		if err != nil {
 			return err
 		}
@@ -374,7 +409,12 @@ func cmdValidate(args []string) error {
 	amp := fs.Float64("amp", 0.6, "excitation amplitude")
 	seed := fs.Int64("seed", 1, "validation-point seed")
 	withCache := cacheFlags(fs)
+	withObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := withObs()
+	if err != nil {
 		return err
 	}
 	ss, err := loadModel(*model)
@@ -393,7 +433,7 @@ func cmdValidate(args []string) error {
 		for j := range x {
 			x[j] = rng.Float64()*2 - 1
 		}
-		resp, err := p.ResponsesAt(x)
+		resp, err := p.ResponsesAtContext(ctx, x)
 		if err != nil {
 			return err
 		}

@@ -7,8 +7,9 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	GET    /healthz              liveness + model count
-//	GET    /metrics              request counters and latency histograms (plaintext)
+//	GET    /healthz              liveness + drain state + model count
+//	GET    /metrics              Prometheus text exposition (plaintext)
+//	GET    /v1/spec              machine-readable API specification
 //	GET    /v1/models            registered models
 //	GET    /v1/models/{name}     one model: factors, R², RMSE
 //	PUT    /v1/models/{name}     upload a saved-surfaces JSON (hot swap)
@@ -21,9 +22,15 @@
 //	GET    /v1/jobs              all jobs
 //	GET    /v1/jobs/{id}         one job's status
 //
-// SIGINT/SIGTERM shut the daemon down gracefully: the listener drains,
-// queued builds are cancelled, and the in-flight build gets -grace to
-// finish before its context is cancelled.
+// Observability: every request gets (or keeps) an X-Request-ID; the same
+// ID threads the access log, build-job transitions and simulation-run
+// lines. -log-format json emits machine-parseable lines, -log-level debug
+// adds per-simulation and cache-decision detail, and -pprof mounts
+// net/http/pprof under /debug/pprof/.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: /healthz flips to
+// draining, the listener drains, queued builds are cancelled, and the
+// in-flight build gets -grace to finish before its context is cancelled.
 package main
 
 import (
@@ -31,13 +38,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/simcache"
 )
@@ -49,15 +56,30 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight builds")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent simulation-cache tier (empty = memory only)")
 	cacheSize := flag.Int("cache-size", 512, "in-memory simulation-cache capacity (entries)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	cache := simcache.New(simcache.Options{Capacity: *cacheSize, Dir: *cacheDir})
-	srv, err := serve.New(serve.Config{ModelsDir: *models, QueueCap: *queue, Cache: cache})
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("ehdoed: serving %d model(s) on %s", srv.Registry().Len(), *addr)
+
+	cache := simcache.New(simcache.Options{Capacity: *cacheSize, Dir: *cacheDir})
+	srv, err := serve.New(serve.Config{
+		ModelsDir:   *models,
+		QueueCap:    *queue,
+		Cache:       cache,
+		Logger:      logger,
+		EnablePprof: *pprof,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("ehdoed serving", "models", srv.Registry().Len(), "addr", *addr, "pprof", *pprof)
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -72,13 +94,13 @@ func main() {
 			os.Exit(1)
 		}
 	case s := <-sig:
-		log.Printf("ehdoed: %v — draining (grace %s)", s, *grace)
+		logger.Info("signal received, draining", "signal", s.String(), "grace_s", grace.Seconds())
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("ehdoed: listener shutdown: %v", err)
+			logger.Warn("listener shutdown", "err", err.Error())
 		}
 		cancel()
 		srv.Shutdown(*grace)
-		log.Printf("ehdoed: bye")
+		logger.Info("ehdoed stopped")
 	}
 }

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -162,9 +163,10 @@ func (p *Problem) engineName() string {
 }
 
 // runSim executes one simulation through the problem's Runner (the shared
-// cache by default). Results may be served from the cache and must be
-// treated as immutable by callers.
-func (p *Problem) runSim(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+// cache by default). ctx carries cancellation and the observability trace
+// (internal/obs) down into the runner. Results may be served from the
+// cache and must be treated as immutable by callers.
+func (p *Problem) runSim(ctx context.Context, d sim.Design, cfg sim.Config) (*sim.Result, error) {
 	name := p.engineName()
 	if name == "" {
 		return p.engine()(d, cfg)
@@ -173,12 +175,18 @@ func (p *Problem) runSim(d sim.Design, cfg sim.Config) (*sim.Result, error) {
 	if r == nil {
 		r = DefaultRunner
 	}
-	return r.Run(name, p.engine(), d, cfg)
+	return r.Run(ctx, name, p.engine(), d, cfg)
 }
 
 // SimulateCoded runs one simulation at a coded design point and returns
 // the raw result.
 func (p *Problem) SimulateCoded(coded []float64) (*sim.Result, error) {
+	return p.SimulateCodedContext(context.Background(), coded)
+}
+
+// SimulateCodedContext is SimulateCoded with an explicit context: the
+// runner sees the caller's cancellation and trace.
+func (p *Problem) SimulateCodedContext(ctx context.Context, coded []float64) (*sim.Result, error) {
 	natural, err := doe.DecodeRun(p.Factors, coded)
 	if err != nil {
 		return nil, err
@@ -188,13 +196,20 @@ func (p *Problem) SimulateCoded(coded []float64) (*sim.Result, error) {
 		return nil, err
 	}
 	cfg := sim.Config{Horizon: p.Horizon, DtSlow: p.DtSlow, Source: sc.Source}
-	return p.runSim(sc.Design, cfg)
+	return p.runSim(ctx, sc.Design, cfg)
 }
 
 // ResponsesAt runs one simulation at a coded point and extracts every
 // problem response.
 func (p *Problem) ResponsesAt(coded []float64) (map[ResponseID]float64, error) {
-	r, err := p.SimulateCoded(coded)
+	return p.ResponsesAtContext(context.Background(), coded)
+}
+
+// ResponsesAtContext is ResponsesAt with an explicit context, threading
+// cancellation and the observability trace through to the simulation
+// runner.
+func (p *Problem) ResponsesAtContext(ctx context.Context, coded []float64) (map[ResponseID]float64, error) {
+	r, err := p.SimulateCodedContext(ctx, coded)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/doe"
+	"repro/internal/obs"
 	"repro/internal/opt"
 )
 
@@ -46,6 +47,8 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: design run aborted: %w", err)
 	}
+	lg := obs.FromContext(ctx)
+	lg.Info("design run started", "design", d.Name, "runs", d.N(), "workers", workers)
 	start := time.Now()
 	// next hands out run indices; abort stops the handout early. Results
 	// land in a pre-sized slice (one slot per run, no index collisions),
@@ -96,12 +99,15 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 					return
 				}
 				runStart := time.Now()
-				resp, err := p.ResponsesAt(d.Runs[i])
-				work.Add(int64(time.Since(runStart)))
+				resp, err := p.ResponsesAtContext(ctx, d.Runs[i])
+				runDur := time.Since(runStart)
+				work.Add(int64(runDur))
 				if err != nil {
+					lg.Warn("sim run failed", "run", i, "err", err.Error())
 					fail(fmt.Errorf("core: run %d failed: %w", i, err))
 					return
 				}
+				lg.Debug("sim run", "run", i, "sim_ms", float64(runDur.Microseconds())/1e3)
 				rows[i] = resp
 			}
 		}()
@@ -111,6 +117,7 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	err := first
 	mu.Unlock()
 	if err != nil {
+		lg.Warn("design run aborted", "design", d.Name, "err", err.Error())
 		return nil, err
 	}
 	ds := &Dataset{Design: d, Y: make(map[ResponseID][]float64, len(p.Responses))}
@@ -123,6 +130,10 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	}
 	ds.SimTime = time.Since(start)
 	ds.SimWork = time.Duration(work.Load())
+	lg.Info("design run finished", "design", d.Name, "runs", d.N(),
+		"sim_ms", float64(ds.SimTime.Microseconds())/1e3,
+		"work_ms", float64(ds.SimWork.Microseconds())/1e3,
+		"speedup", ds.Speedup())
 	return ds, nil
 }
 

@@ -1,0 +1,141 @@
+// Package obs is the unified observability layer of the serving stack:
+// structured logging (log/slog with configurable level and text/JSON
+// format), request/job/run trace-ID generation and propagation through
+// context.Context, a single process metrics registry rendered in
+// Prometheus text exposition format, and net/http/pprof wiring.
+//
+// The conventions are deliberately small:
+//
+//   - A trace ID is minted (or adopted from X-Request-ID) at the HTTP
+//     boundary, stored in the request context, and inherited by the build
+//     job and every simulation run the request causes. One grep over the
+//     logs for that ID yields the complete end-to-end account of the
+//     request — access line, job state transitions, per-run simulation
+//     timing and cache hits.
+//   - Loggers travel in the context too, already bound to the trace ID
+//     (logger.With("trace", id)), so deep layers (core, simcache) never
+//     need to know where the ID came from: obs.FromContext(ctx) is either
+//     the bound logger or a no-op.
+//   - Metrics live in one Registry per process/server. Packages register
+//     their counters (or callback readers over pre-existing counters) at
+//     wiring time; /metrics renders the registry and nothing else.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a flag string to a slog level. Accepted values:
+// debug, info, warn, error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a logger writing to w in the given format ("text" or
+// "json") at the given level string.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+}
+
+// nopHandler drops everything; Enabled is false at every level so
+// disabled call sites pay only the interface dispatch.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+var nop = slog.New(nopHandler{})
+
+// Nop returns the shared no-op logger: every level disabled.
+func Nop() *slog.Logger { return nop }
+
+// NewID mints a short random identifier with the given prefix, e.g.
+// NewID("req-") → "req-9f2c01ab34de". IDs are 48 random bits — plenty for
+// correlating log lines, not a security boundary.
+func NewID(prefix string) string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; an ID of
+		// zeros still produces valid (if colliding) log correlation.
+		return prefix + "000000000000"
+	}
+	return prefix + hex.EncodeToString(b[:])
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	loggerKey
+)
+
+// WithTraceID stores a trace ID in the context.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// TraceID returns the context's trace ID, or "" when none was set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey).(string)
+	return id
+}
+
+// WithLogger stores a logger in the context. By convention the logger is
+// already bound to the trace ID (l.With("trace", id)) so downstream
+// layers emit correlated lines without knowing about IDs at all.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// FromContext returns the context's logger, or the no-op logger when none
+// was set — library code can always log through it unconditionally.
+func FromContext(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return nop
+}
+
+// Annotate binds a trace ID and its logger into the context in one step:
+// the returned context carries both, with the logger pre-bound to the ID.
+// An empty id mints a fresh one with the given prefix.
+func Annotate(ctx context.Context, l *slog.Logger, prefix, id string) (context.Context, string) {
+	if id == "" {
+		id = NewID(prefix)
+	}
+	if l == nil {
+		l = nop
+	} else {
+		l = l.With("trace", id)
+	}
+	return WithLogger(WithTraceID(ctx, id), l), id
+}

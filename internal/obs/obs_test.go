@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bogus level must be rejected")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", 42)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler produced non-JSON: %s", buf.Bytes())
+	}
+	if rec["msg"] != "hello" || rec["k"] != float64(42) {
+		t.Fatalf("record %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering broken: %s", out)
+	}
+
+	if _, err := NewLogger(&buf, "yaml", "info"); err == nil {
+		t.Fatal("bogus format must be rejected")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Fatal("bogus level must be rejected")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := Nop()
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger must be disabled at every level")
+	}
+	l.Error("goes nowhere") // must not panic
+}
+
+func TestNewIDPrefixAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID("req-")
+		if !strings.HasPrefix(id, "req-") || len(id) != len("req-")+12 {
+			t.Fatalf("malformed id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context must have no trace ID")
+	}
+	if FromContext(ctx) != Nop() {
+		t.Fatal("empty context must yield the nop logger")
+	}
+
+	var buf bytes.Buffer
+	lg, _ := NewLogger(&buf, "json", "debug")
+	ctx, id := Annotate(ctx, lg, "req-", "")
+	if id == "" || TraceID(ctx) != id {
+		t.Fatalf("Annotate lost the trace ID: %q vs %q", id, TraceID(ctx))
+	}
+	FromContext(ctx).Info("ping")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace"] != id {
+		t.Fatalf("context logger not bound to trace ID: %v", rec)
+	}
+
+	// An explicit ID is adopted, not replaced.
+	ctx2, id2 := Annotate(context.Background(), lg, "req-", "req-abc")
+	if id2 != "req-abc" || TraceID(ctx2) != "req-abc" {
+		t.Fatalf("explicit ID not adopted: %q", id2)
+	}
+}

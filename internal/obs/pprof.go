@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler returns the net/http/pprof handlers rooted at
+// /debug/pprof/, without touching http.DefaultServeMux. Mount it behind
+// an explicit flag — profiles expose internals and cost CPU while
+// running.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MountPprof attaches the pprof handlers to an existing mux under
+// /debug/pprof/.
+func MountPprof(mux *http.ServeMux) {
+	mux.Handle("/debug/pprof/", PprofHandler())
+}

@@ -17,6 +17,24 @@ import (
 	"repro/internal/core"
 )
 
+// HealthResponse is the GET /healthz body. Status is "ok" while serving
+// and "draining" (with HTTP 503) once shutdown has begun.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Models        int     `json:"models"`
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+// ModelsResponse is the GET /v1/models body.
+type ModelsResponse struct {
+	Models []ModelSummary `json:"models"`
+}
+
+// BuildAccepted is the 202 body of POST /v1/build: the freshly queued job.
+type BuildAccepted struct {
+	Job JobView `json:"job"`
+}
+
 // FactorView is the JSON shape of a design factor.
 type FactorView struct {
 	Name string  `json:"name"`
@@ -152,7 +170,7 @@ type ValidateRequest struct {
 	Seed  int64  `json:"seed,omitempty"`
 	// Amp is the legacy name for the excitation amplitude; Excite wins
 	// when both are set.
-	Amp     float64 `json:"amp,omitempty"`
+	Amp     float64 `json:"amp,omitempty" spec:"deprecated"`
 	Excite  float64 `json:"excite,omitempty"`
 	Horizon float64 `json:"horizon_s,omitempty"`
 }
@@ -183,15 +201,18 @@ type BuildRequest struct {
 	Horizon float64 `json:"horizon_s,omitempty"`
 	// Amp is the legacy name for the excitation amplitude; Excite wins
 	// when both are set (default 0.6).
-	Amp     float64 `json:"amp,omitempty"`
+	Amp     float64 `json:"amp,omitempty" spec:"deprecated"`
 	Excite  float64 `json:"excite,omitempty"`
 	Seed    int64   `json:"seed,omitempty"`
 	Workers int     `json:"workers,omitempty"`
 }
 
-// JobView is the JSON snapshot of a build job.
+// JobView is the JSON snapshot of a build job. TraceID is the request ID
+// of the /v1/build call that enqueued it — the same ID threads the access
+// log, the job transition logs and the simulation-run logs.
 type JobView struct {
 	ID         string             `json:"id"`
+	TraceID    string             `json:"trace_id,omitempty"`
 	Model      string             `json:"model"`
 	Design     string             `json:"design"`
 	State      string             `json:"state"`
@@ -233,6 +254,7 @@ type errorBody struct {
 // Machine-readable error codes carried by errorBody.Code.
 const (
 	codeInvalidRequest = "invalid_request" // malformed body, bad field values
+	codeBadField       = "bad_field"       // request carries an unknown field
 	codeNotFound       = "not_found"       // unknown model or job
 	codeConflict       = "conflict"        // request inconsistent with server state
 	codeQueueFull      = "queue_full"      // build queue at capacity

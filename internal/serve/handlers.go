@@ -14,9 +14,7 @@ import (
 )
 
 func (s *Server) handleModelsList(w http.ResponseWriter, r *http.Request) {
-	out := struct {
-		Models []ModelSummary `json:"models"`
-	}{Models: []ModelSummary{}}
+	out := ModelsResponse{Models: []ModelSummary{}}
 	for _, name := range s.registry.Names() {
 		if ss, ok := s.registry.Get(name); ok {
 			out.Models = append(out.Models, summarize(name, ss))
@@ -275,6 +273,9 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	amp := req.Excite
 	if amp == 0 {
 		amp = req.Amp
+		if amp > 0 {
+			s.deprecateAmp(w, r, "validate")
+		}
 	}
 	if amp <= 0 {
 		amp = 0.6
@@ -317,7 +318,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		for j := range x {
 			x[j] = rng.Float64()*2 - 1
 		}
-		sim, err := p.ResponsesAt(x)
+		sim, err := p.ResponsesAtContext(r.Context(), x)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, codeInternal, "simulation %d failed: %v", i, err)
 			return
@@ -354,7 +355,10 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	job, err := s.jobs.Submit(req)
+	if req.Amp > 0 && req.Excite == 0 {
+		s.deprecateAmp(w, r, "build")
+	}
+	job, err := s.jobs.Submit(r.Context(), req)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -366,9 +370,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusAccepted, struct {
-		Job JobView `json:"job"`
-	}{Job: job})
+	writeJSON(w, http.StatusAccepted, BuildAccepted{Job: job})
 }
 
 // handleJobsList pages through job history: ?state= filters by lifecycle

@@ -3,11 +3,12 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"sync"
 	"time"
 
-	"sync"
-
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rsm"
 )
 
@@ -25,8 +26,9 @@ const (
 // Job is one asynchronous DoE build. Fields are guarded by the owning
 // manager's mutex; handlers only ever see View snapshots.
 type Job struct {
-	ID  string
-	Req BuildRequest
+	ID    string
+	Trace string // request ID of the submitting /v1/build call
+	Req   BuildRequest
 
 	State    JobState
 	Error    string
@@ -43,6 +45,7 @@ type Job struct {
 func (j *Job) view() JobView {
 	v := JobView{
 		ID:         j.ID,
+		TraceID:    j.Trace,
 		Model:      j.Req.Model,
 		Design:     j.Req.Design,
 		State:      string(j.State),
@@ -73,6 +76,23 @@ func (j *Job) view() JobView {
 // cmd/ehdoed uses core.StandardProblem, tests substitute faster problems.
 type ProblemFactory func(amp, horizon float64) *core.Problem
 
+// JobManagerConfig configures a JobManager.
+type JobManagerConfig struct {
+	// Registry receives finished surfaces under the requested model name;
+	// nil means a fresh empty registry.
+	Registry *Registry
+	// Problem instantiates the problem a build simulates; nil means
+	// core.StandardProblem.
+	Problem ProblemFactory
+	// QueueCap bounds the jobs waiting behind the running one (default 8).
+	QueueCap int
+	// Log receives job-transition lines; nil discards them.
+	Log *slog.Logger
+	// Finished, when set, counts terminal job states (labelled done /
+	// failed / canceled).
+	Finished *obs.CounterVec
+}
+
 // JobManager owns a bounded queue of build jobs and a single build worker:
 // DoE builds saturate the cores on their own via RunDesignContext, so
 // running them one at a time maximizes per-build throughput and keeps the
@@ -81,6 +101,8 @@ type ProblemFactory func(amp, horizon float64) *core.Problem
 type JobManager struct {
 	registry *Registry
 	problem  ProblemFactory
+	log      *slog.Logger
+	finished *obs.CounterVec
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -94,31 +116,41 @@ type JobManager struct {
 	queue  chan *Job
 }
 
-// NewJobManager starts the build worker. queueCap bounds the number of
-// jobs waiting behind the running one; Submit rejects beyond that.
-func NewJobManager(registry *Registry, problem ProblemFactory, queueCap int) *JobManager {
-	if queueCap < 1 {
-		queueCap = 8
+// NewJobManager starts the build worker.
+func NewJobManager(cfg JobManagerConfig) *JobManager {
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 8
 	}
-	if problem == nil {
-		problem = core.StandardProblem
+	if cfg.Problem == nil {
+		cfg.Problem = core.StandardProblem
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.Log == nil {
+		cfg.Log = obs.Nop()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &JobManager{
-		registry: registry,
-		problem:  problem,
+		registry: cfg.Registry,
+		problem:  cfg.Problem,
+		log:      cfg.Log,
+		finished: cfg.Finished,
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, queueCap),
+		queue:    make(chan *Job, cfg.QueueCap),
 	}
 	m.wg.Add(1)
 	go m.worker()
 	return m
 }
 
-// Submit validates and enqueues a build, returning its snapshot.
-func (m *JobManager) Submit(req BuildRequest) (JobView, error) {
+// Submit validates and enqueues a build, returning its snapshot. The
+// context's trace ID (obs.TraceID) is inherited by the job: the build
+// worker logs every transition and simulation under it, so one request ID
+// follows the build from HTTP accept to finished surfaces.
+func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, error) {
 	if req.Model == "" {
 		return JobView{}, fmt.Errorf("serve: build needs a model name")
 	}
@@ -154,6 +186,7 @@ func (m *JobManager) Submit(req BuildRequest) (JobView, error) {
 	m.nextID++
 	j := &Job{
 		ID:       fmt.Sprintf("job-%06d", m.nextID),
+		Trace:    obs.TraceID(ctx),
 		Req:      req,
 		State:    JobQueued,
 		Enqueued: time.Now(),
@@ -165,7 +198,18 @@ func (m *JobManager) Submit(req BuildRequest) (JobView, error) {
 	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
+	m.jobLog(j).Info("job enqueued", "model", req.Model, "design", req.Design)
 	return j.view(), nil
+}
+
+// jobLog binds a logger with the job's identity: its own ID plus the
+// trace ID of the request that created it.
+func (m *JobManager) jobLog(j *Job) *slog.Logger {
+	lg := m.log.With("job", j.ID)
+	if j.Trace != "" {
+		lg = lg.With("trace", j.Trace)
+	}
+	return lg
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at capacity;
@@ -244,6 +288,8 @@ func (m *JobManager) Shutdown(grace time.Duration) {
 			j.State = JobCanceled
 			j.Error = "canceled: server shutting down"
 			j.Finished = time.Now()
+			m.jobLog(j).Info("job canceled", "reason", "server shutting down, job still queued")
+			m.countFinished(JobCanceled)
 		}
 		close(m.queue)
 	}
@@ -257,10 +303,17 @@ func (m *JobManager) Shutdown(grace time.Duration) {
 	select {
 	case <-done:
 	case <-time.After(grace):
+		m.log.Warn("job shutdown grace expired, cancelling in-flight build", "grace_s", grace.Seconds())
 		m.cancel()
 		<-done
 	}
 	m.cancel()
+}
+
+func (m *JobManager) countFinished(state JobState) {
+	if m.finished != nil {
+		m.finished.With(string(state)).Inc()
+	}
 }
 
 func (m *JobManager) worker() {
@@ -275,6 +328,11 @@ func (m *JobManager) worker() {
 }
 
 func (m *JobManager) run(j *Job) {
+	lg := m.jobLog(j)
+	// The build inherits the submitting request's trace: simulation-run
+	// and cache log lines carry the same trace ID as the access log.
+	ctx := obs.WithLogger(obs.WithTraceID(m.ctx, j.Trace), lg)
+
 	p := m.problem(j.Req.Amp, j.Req.Horizon)
 	k := len(p.Factors)
 	design, err := core.NamedDesign(j.Req.Design, k, j.Req.Runs, j.Req.Seed)
@@ -287,9 +345,12 @@ func (m *JobManager) run(j *Job) {
 	j.State = JobRunning
 	j.Started = time.Now()
 	j.Runs = design.N()
+	wait := j.Started.Sub(j.Enqueued)
 	m.mu.Unlock()
+	lg.Info("job started", "model", j.Req.Model, "design", j.Req.Design,
+		"runs", design.N(), "queue_wait_ms", float64(wait.Microseconds())/1e3)
 
-	ds, err := p.RunDesignContext(m.ctx, design, j.Req.Workers)
+	ds, err := p.RunDesignContext(ctx, design, j.Req.Workers)
 	if err != nil {
 		state := JobFailed
 		if m.ctx.Err() != nil {
@@ -315,15 +376,33 @@ func (m *JobManager) run(j *Job) {
 	for id, r2 := range saved.R2 {
 		j.R2[string(id)] = r2
 	}
+	dur := j.Finished.Sub(j.Started)
 	m.mu.Unlock()
+	m.countFinished(JobDone)
+	lg.Info("job done", "model", j.Req.Model, "runs", design.N(),
+		"dur_ms", float64(dur.Microseconds())/1e3,
+		"sim_ms", float64(ds.SimTime.Microseconds())/1e3,
+		"speedup", ds.Speedup())
 }
 
 func (m *JobManager) finish(j *Job, state JobState, err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.State = state
 	if err != nil {
 		j.Error = err.Error()
 	}
 	j.Finished = time.Now()
+	var dur time.Duration
+	if !j.Started.IsZero() {
+		dur = j.Finished.Sub(j.Started)
+	}
+	m.mu.Unlock()
+	m.countFinished(state)
+	lg := m.jobLog(j).With("dur_ms", float64(dur.Microseconds())/1e3)
+	switch state {
+	case JobCanceled:
+		lg.Info("job canceled", "reason", j.Error)
+	default:
+		lg.Warn("job failed", "err", j.Error)
+	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -69,20 +70,20 @@ func TestJobQueueBounds(t *testing.T) {
 	defer close(quit)
 
 	reg := NewRegistry()
-	m := NewJobManager(reg, blockingProblem(release, quit), 1)
+	m := NewJobManager(JobManagerConfig{Registry: reg, Problem: blockingProblem(release, quit), QueueCap: 1})
 
 	req := BuildRequest{Model: "q", Design: "ccf", Horizon: 1}
-	j1, err := m.Submit(req)
+	j1, err := m.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, m, j1.ID, JobRunning)
 
-	j2, err := m.Submit(req)
+	j2, err := m.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit(req); err != ErrQueueFull {
+	if _, err := m.Submit(context.Background(), req); err != ErrQueueFull {
 		t.Fatalf("third submit: got %v, want ErrQueueFull", err)
 	}
 
@@ -108,7 +109,7 @@ func TestJobQueueBounds(t *testing.T) {
 	}
 
 	// Post-shutdown submits are refused.
-	if _, err := m.Submit(req); err == nil {
+	if _, err := m.Submit(context.Background(), req); err == nil {
 		t.Fatal("submit after shutdown must fail")
 	}
 	// Shutdown is idempotent.
@@ -122,8 +123,8 @@ func TestShutdownCancelsInFlight(t *testing.T) {
 	quit := make(chan struct{})
 
 	reg := NewRegistry()
-	m := NewJobManager(reg, blockingProblem(release, quit), 1)
-	j, err := m.Submit(BuildRequest{Model: "c", Design: "ccf", Horizon: 1})
+	m := NewJobManager(JobManagerConfig{Registry: reg, Problem: blockingProblem(release, quit), QueueCap: 1})
+	j, err := m.Submit(context.Background(), BuildRequest{Model: "c", Design: "ccf", Horizon: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,13 +166,13 @@ func TestSubmitDefaults(t *testing.T) {
 	close(release) // run immediately
 
 	reg := NewRegistry()
-	m := NewJobManager(reg, blockingProblem(release, quit), 0)
+	m := NewJobManager(JobManagerConfig{Registry: reg, Problem: blockingProblem(release, quit), QueueCap: 0})
 	defer m.Shutdown(10 * time.Second)
 
-	if _, err := m.Submit(BuildRequest{}); err == nil {
+	if _, err := m.Submit(context.Background(), BuildRequest{}); err == nil {
 		t.Fatal("empty model name must be rejected")
 	}
-	j, err := m.Submit(BuildRequest{Model: "d", Horizon: 1})
+	j, err := m.Submit(context.Background(), BuildRequest{Model: "d", Horizon: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

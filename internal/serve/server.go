@@ -4,12 +4,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simcache"
 )
+
+// latencyBuckets are the cumulative-histogram upper bounds in seconds,
+// spanning the sub-millisecond surrogate hot path up to multi-second
+// simulation-backed endpoints. An implicit +Inf bucket follows.
+var latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
 // Config configures a Server.
 type Config struct {
@@ -26,18 +35,32 @@ type Config struct {
 	// Cache memoizes the simulations behind builds and validations; nil
 	// means a fresh in-memory cache (512 entries, no disk tier).
 	Cache *simcache.Cache
+	// Logger receives structured request, job and simulation logs; nil
+	// discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the same
+	// mux. Off by default: profiling endpoints expose internals.
+	EnablePprof bool
 }
 
-// Server wires the registry, job manager and metrics into an http.Handler.
+// Server wires the registry, job manager and observability into an
+// http.Handler. All metrics live in one obs.Registry; /metrics renders it
+// and nothing else.
 type Server struct {
 	registry *Registry
 	jobs     *JobManager
-	metrics  *Metrics
 	problem  ProblemFactory
 	cache    *simcache.Cache
 	maxBody  int64
 	mux      *http.ServeMux
 	started  time.Time
+	log      *slog.Logger
+	draining atomic.Bool
+
+	reg     *obs.Registry
+	reqs    *obs.CounterVec
+	errs    *obs.CounterVec
+	latency *obs.HistogramVec
 }
 
 // New builds a server, loading any models found in cfg.ModelsDir.
@@ -63,22 +86,43 @@ func New(cfg Config) (*Server, error) {
 	if maxBody <= 0 {
 		maxBody = 32 << 20
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Nop()
+	}
 	s := &Server{
 		registry: NewRegistry(),
-		metrics:  NewMetrics(),
 		problem:  cached,
 		cache:    cache,
 		maxBody:  maxBody,
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
+		log:      logger,
+		reg:      obs.NewRegistry(),
 	}
+	s.reg.GaugeFunc("ehdoed_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(s.started).Seconds()
+	})
+	s.reqs = s.reg.CounterVec("ehdoed_requests_total", "Requests served, by endpoint.", "endpoint")
+	s.errs = s.reg.CounterVec("ehdoed_request_errors_total", "Requests answered with status >= 400, by endpoint.", "endpoint")
+	s.latency = s.reg.HistogramVec("ehdoed_request_latency_seconds", "Request latency, by endpoint.", "endpoint", latencyBuckets)
+	cache.RegisterMetrics(s.reg, "ehdoed_simcache")
 	if cfg.ModelsDir != "" {
 		if _, err := s.registry.LoadDir(cfg.ModelsDir); err != nil {
 			return nil, err
 		}
 	}
-	s.jobs = NewJobManager(s.registry, s.problem, cfg.QueueCap)
+	s.jobs = NewJobManager(JobManagerConfig{
+		Registry: s.registry,
+		Problem:  s.problem,
+		QueueCap: cfg.QueueCap,
+		Log:      logger,
+		Finished: s.reg.CounterVec("ehdoed_jobs_total", "Build jobs finished, by terminal state.", "state"),
+	})
 	s.routes()
+	if cfg.EnablePprof {
+		obs.MountPprof(s.mux)
+	}
 	return s, nil
 }
 
@@ -91,33 +135,30 @@ func (s *Server) Jobs() *JobManager { return s.jobs }
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the job runner: queued builds are cancelled, the
-// in-flight one gets the grace period before its context is cancelled.
+// Metrics exposes the server's observability registry, so embedding
+// programs can add their own instruments to the same /metrics page.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Shutdown drains the job runner: /healthz flips to draining, queued
+// builds are cancelled, the in-flight one gets the grace period before its
+// context is cancelled.
 func (s *Server) Shutdown(grace time.Duration) {
+	s.draining.Store(true)
+	s.log.Info("server draining", "grace_s", grace.Seconds())
 	s.jobs.Shutdown(grace)
 }
 
 func (s *Server) routes() {
-	handle := func(pattern, label string, h http.HandlerFunc) {
-		s.mux.HandleFunc(pattern, s.instrument(label, h))
+	for _, ep := range s.endpoints() {
+		s.mux.HandleFunc(ep.Method+" "+ep.Path, s.instrument(ep.Label, ep.handler))
+		if ep.Method == "PUT" && ep.Path == "/v1/models/{name}" {
+			// Historical alias: POST uploads are accepted too.
+			s.mux.HandleFunc("POST "+ep.Path, s.instrument(ep.Label, ep.handler))
+		}
 	}
-	handle("GET /healthz", "healthz", s.handleHealthz)
-	handle("GET /metrics", "metrics", s.handleMetrics)
-	handle("GET /v1/models", "models_list", s.handleModelsList)
-	handle("GET /v1/models/{name}", "model_get", s.handleModelGet)
-	handle("PUT /v1/models/{name}", "model_put", s.handleModelPut)
-	handle("POST /v1/models/{name}", "model_put", s.handleModelPut)
-	handle("DELETE /v1/models/{name}", "model_delete", s.handleModelDelete)
-	handle("POST /v1/predict", "predict", s.handlePredict)
-	handle("POST /v1/sweep", "sweep", s.handleSweep)
-	handle("POST /v1/optimize", "optimize", s.handleOptimize)
-	handle("POST /v1/validate", "validate", s.handleValidate)
-	handle("POST /v1/build", "build", s.handleBuild)
-	handle("GET /v1/jobs", "jobs_list", s.handleJobsList)
-	handle("GET /v1/jobs/{id}", "job_get", s.handleJobGet)
 }
 
-// statusWriter captures the response status for the metrics middleware.
+// statusWriter captures the response status for the middleware.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -128,28 +169,46 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// instrument is the one middleware every endpoint passes through: it
+// adopts the client's X-Request-ID (or mints a fresh "req-" ID), binds a
+// trace-carrying logger into the request context, echoes the ID back,
+// records metrics and emits one structured access-log line.
 func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		ctx, id := obs.Annotate(r.Context(), s.log, "req-", r.Header.Get("X-Request-ID"))
+		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		s.metrics.Observe(label, sw.status, time.Since(start))
+		h(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		s.reqs.With(label).Inc()
+		if sw.status >= 400 {
+			s.errs.With(label).Inc()
+		}
+		s.latency.With(label).Observe(dur.Seconds())
+		obs.FromContext(ctx).Info("request",
+			"method", r.Method, "path", r.URL.Path, "endpoint", label,
+			"status", sw.status, "dur_ms", float64(dur.Microseconds())/1e3)
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"models":   s.registry.Len(),
-		"uptime_s": time.Since(s.started).Seconds(),
-	})
+	resp := HealthResponse{
+		Status:        "ok",
+		Models:        s.registry.Len(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	b := s.metrics.Render()
-	b = simcache.RenderMetrics(b, "ehdoed_simcache", s.cache.Stats())
-	w.Write(b)
+	w.Write(s.reg.Render())
 }
 
 // writeJSON renders v with the given status.
@@ -167,10 +226,17 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
-// decodeJSON parses a bounded request body, rejecting trailing garbage.
+// decodeJSON parses a bounded request body into a typed request struct.
+// Unknown fields are rejected (code bad_field) so typos fail loudly
+// instead of silently defaulting; trailing garbage is rejected too.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		if strings.Contains(err.Error(), "unknown field") {
+			writeError(w, http.StatusBadRequest, codeBadField, "%v", err)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "malformed JSON body: %v", err)
 		return false
 	}
@@ -199,4 +265,13 @@ func (s *Server) model(w http.ResponseWriter, name string) (*core.SavedSurfaces,
 		return nil, false
 	}
 	return ss, true
+}
+
+// deprecateAmp marks a response that was produced from the legacy "amp"
+// field: a Deprecation header (RFC 9745 shape) plus one structured warning,
+// so clients and operators both notice before the alias is retired.
+func (s *Server) deprecateAmp(w http.ResponseWriter, r *http.Request, endpoint string) {
+	w.Header().Set("Deprecation", `@1767225600`) // 2026-01-01, the alias's sunset-eligible date
+	obs.FromContext(r.Context()).Warn("deprecated field used",
+		"field", "amp", "use", "excite", "endpoint", endpoint)
 }

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestSpecCoversEveryEndpoint: GET /v1/spec is generated from the same
+// table that registers the routes, so every served endpoint must appear,
+// with schemas reflected from the typed structs.
+func TestSpecCoversEveryEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	resp, body := get(t, ts.URL+"/v1/spec")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spec status %d: %s", resp.StatusCode, body)
+	}
+	var spec SpecResponse
+	if err := json.Unmarshal(body, &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Version != "v1" {
+		t.Fatalf("spec version %q", spec.Version)
+	}
+	listed := map[string]EndpointView{}
+	for _, ep := range spec.Endpoints {
+		listed[ep.Method+" "+ep.Path] = ep
+	}
+	for _, ep := range srv.endpoints() {
+		if _, ok := listed[ep.Method+" "+ep.Path]; !ok {
+			t.Errorf("spec missing endpoint %s %s", ep.Method, ep.Path)
+		}
+	}
+
+	// The build request schema is reflected, not hand-written: excite is a
+	// plain number, amp carries the deprecated marker.
+	build, ok := listed["POST /v1/build"]
+	if !ok || build.Request == nil {
+		t.Fatal("spec has no POST /v1/build request schema")
+	}
+	fields := map[string]FieldSpec{}
+	for _, f := range build.Request.Fields {
+		fields[f.Name] = f
+	}
+	if f := fields["excite"]; f.Type != "number" || f.Deprecated {
+		t.Fatalf("excite field spec wrong: %+v", f)
+	}
+	if f := fields["amp"]; !f.Deprecated {
+		t.Fatalf("amp field not marked deprecated: %+v", f)
+	}
+
+	// The error vocabulary includes the unknown-field code, and the
+	// envelope schema names both wire fields.
+	codes := map[string]bool{}
+	for _, c := range spec.ErrorCodes {
+		codes[c.Code] = true
+	}
+	for _, want := range []string{"invalid_request", "bad_field", "not_found", "queue_full", "shutting_down", "internal"} {
+		if !codes[want] {
+			t.Errorf("spec missing error code %q", want)
+		}
+	}
+	if spec.ErrorEnvelope == nil || len(spec.ErrorEnvelope.Fields) != 2 {
+		t.Fatalf("error envelope schema wrong: %+v", spec.ErrorEnvelope)
+	}
+}
+
+// TestUnknownFieldRejected: typed decoding refuses fields outside the
+// contract with the dedicated bad_field code — a typo like "exite" fails
+// loudly instead of silently defaulting.
+func TestUnknownFieldRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/build", map[string]any{
+		"model": "m", "exite": 0.7,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d: %s", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != codeBadField {
+		t.Fatalf("unknown field code %q, want %q (%s)", eb.Code, codeBadField, eb.Error)
+	}
+}
+
+// TestAmpAliasDeprecationHeader: requests resolved through the legacy amp
+// field get a Deprecation response header; the stable excite spelling does
+// not.
+func TestAmpAliasDeprecationHeader(t *testing.T) {
+	release := make(chan struct{})
+	quit := make(chan struct{})
+	defer close(quit)
+	close(release)
+	_, ts := newTestServer(t, Config{Problem: blockingProblem(release, quit)})
+
+	resp, body := postJSON(t, ts.URL+"/v1/build", BuildRequest{Model: "a", Horizon: 1, Amp: 0.5})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy build status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Fatal("legacy amp build carries no Deprecation header")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/build", BuildRequest{Model: "b", Horizon: 1, Excite: 0.5})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("excite build status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("stable excite build must not carry a Deprecation header")
+	}
+}

@@ -10,12 +10,14 @@ package simcache
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
-	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -24,17 +26,19 @@ import (
 type Engine func(sim.Design, sim.Config) (*sim.Result, error)
 
 // Runner executes a simulation request, possibly answering from a cache.
-// engine names the engine so different engines never alias; fn performs
-// the actual run on a miss. Callers must treat the returned Result as
-// shared and immutable.
+// ctx carries cancellation intent plus the observability trace (see
+// internal/obs): cache decisions are logged through obs.FromContext under
+// the caller's trace ID. engine names the engine so different engines
+// never alias; fn performs the actual run on a miss. Callers must treat
+// the returned Result as shared and immutable.
 type Runner interface {
-	Run(engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error)
+	Run(ctx context.Context, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error)
 }
 
 // Direct is the no-op Runner: every request runs the simulation.
 type Direct struct{}
 
-func (Direct) Run(_ string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+func (Direct) Run(_ context.Context, _ string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
 	return fn(d, cfg)
 }
 
@@ -110,12 +114,17 @@ func (c *Cache) Stats() Stats {
 
 // Run implements Runner. Resolution order: in-memory hit → join an
 // identical in-flight run → disk hit → execute. Errors are never cached.
-func (c *Cache) Run(engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+// Cache decisions are logged at debug level through the context's logger
+// (obs.FromContext), so one trace ID correlates a request with every
+// simulation it hit, missed or coalesced.
+func (c *Cache) Run(ctx context.Context, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	lg := obs.FromContext(ctx)
 	key, err := Fingerprint(engine, d, cfg)
 	if err != nil {
 		c.mu.Lock()
 		c.stats.Bypass++
 		c.mu.Unlock()
+		lg.Debug("simcache bypass", "engine", engine, "reason", err.Error())
 		return fn(d, cfg)
 	}
 
@@ -126,24 +135,27 @@ func (c *Cache) Run(engine string, fn Engine, d sim.Design, cfg sim.Config) (*si
 			c.stats.Hits++
 			res := el.Value.(*entry).res
 			c.mu.Unlock()
+			lg.Debug("simcache hit", "key", short(key))
 			return res, nil
 		}
 		if fl, ok := c.flight[key]; ok {
 			c.stats.DedupHits++
 			c.mu.Unlock()
+			lg.Debug("simcache coalesced", "key", short(key))
 			<-fl.done
 			if fl.err == nil {
 				return fl.res, nil
 			}
 			// The leader failed; retry as a fresh request rather than
 			// propagating someone else's (possibly transient) error.
+			lg.Debug("simcache leader failed, retrying", "key", short(key))
 			continue
 		}
 		fl := &call{done: make(chan struct{})}
 		c.flight[key] = fl
 		c.mu.Unlock()
 
-		fl.res, fl.err = c.fill(key, engine, fn, d, cfg)
+		fl.res, fl.err = c.fill(ctx, key, engine, fn, d, cfg)
 
 		c.mu.Lock()
 		delete(c.flight, key)
@@ -156,15 +168,27 @@ func (c *Cache) Run(engine string, fn Engine, d sim.Design, cfg sim.Config) (*si
 	}
 }
 
+// short truncates a fingerprint for log lines: enough to correlate, not
+// enough to drown the output.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
 // fill resolves a miss: disk tier first, then the engine. Called without
 // the lock held; the single-flight entry guarantees exclusivity per key.
-func (c *Cache) fill(key, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+func (c *Cache) fill(ctx context.Context, key, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	lg := obs.FromContext(ctx)
 	if res, ok := c.loadDisk(key, engine); ok {
 		c.mu.Lock()
 		c.stats.DiskHits++
 		c.mu.Unlock()
+		lg.Debug("simcache disk hit", "key", short(key))
 		return res, nil
 	}
+	start := time.Now()
 	res, err := fn(d, cfg)
 	if err != nil {
 		return nil, err
@@ -172,6 +196,8 @@ func (c *Cache) fill(key, engine string, fn Engine, d sim.Design, cfg sim.Config
 	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
+	lg.Debug("simcache miss", "key", short(key), "engine", engine,
+		"sim_ms", float64(time.Since(start).Microseconds())/1e3)
 	c.storeDisk(key, engine, res)
 	return res, nil
 }
@@ -253,19 +279,24 @@ func (c *Cache) storeDisk(key, engine string, res *sim.Result) {
 	c.mu.Unlock()
 }
 
-// RenderMetrics appends the cache counters in Prometheus text format using
-// the given metric-name prefix (e.g. "ehdoed_simcache").
-func RenderMetrics(b []byte, prefix string, st Stats) []byte {
-	add := func(name string, v uint64) {
-		b = append(b, fmt.Sprintf("# TYPE %s_%s_total counter\n%s_%s_total %d\n", prefix, name, prefix, name, v)...)
+// RegisterMetrics publishes the cache counters into an obs.Registry under
+// the given metric-name prefix (e.g. "ehdoed_simcache"): callback readers
+// over the cache's own stats, so there is exactly one source of truth and
+// /metrics is rendered solely by the registry.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	counter := func(name, help string, get func(Stats) uint64) {
+		reg.CounterFunc(prefix+"_"+name+"_total", help, func() float64 {
+			return float64(get(c.Stats()))
+		})
 	}
-	add("hits", st.Hits)
-	add("misses", st.Misses)
-	add("dedup", st.DedupHits)
-	add("evictions", st.Evictions)
-	add("disk_hits", st.DiskHits)
-	add("disk_writes", st.DiskWrites)
-	add("bypass", st.Bypass)
-	b = append(b, fmt.Sprintf("# TYPE %s_entries gauge\n%s_entries %d\n", prefix, prefix, st.Entries)...)
-	return b
+	counter("hits", "Simulations answered from the in-memory tier.", func(s Stats) uint64 { return s.Hits })
+	counter("misses", "Simulations executed on a cache miss.", func(s Stats) uint64 { return s.Misses })
+	counter("dedup", "Requests that joined an identical in-flight run.", func(s Stats) uint64 { return s.DedupHits })
+	counter("evictions", "LRU entries dropped past capacity.", func(s Stats) uint64 { return s.Evictions })
+	counter("disk_hits", "Simulations answered from the disk tier.", func(s Stats) uint64 { return s.DiskHits })
+	counter("disk_writes", "Entries persisted to the disk tier.", func(s Stats) uint64 { return s.DiskWrites })
+	counter("bypass", "Unhashable requests run directly.", func(s Stats) uint64 { return s.Bypass })
+	reg.GaugeFunc(prefix+"_entries", "Current in-memory cache entries.", func() float64 {
+		return float64(c.Stats().Entries)
+	})
 }

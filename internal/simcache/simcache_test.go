@@ -1,21 +1,29 @@
 package simcache
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tuner"
 	"repro/internal/vibration"
 )
+
+// ctx is the background context every direct Run call in this file uses;
+// trace propagation has its own tests in internal/obs and internal/serve.
+var ctx = context.Background()
 
 func testDesign(vth float64) sim.Design {
 	d := sim.DefaultDesign()
@@ -121,11 +129,11 @@ func TestCacheHitMissCounting(t *testing.T) {
 	fn := fakeEngine(&calls)
 	d, cfg := testDesign(3.0), testConfig(10)
 
-	r1, err := c.Run("fast", fn, d, cfg)
+	r1, err := c.Run(ctx, "fast", fn, d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.Run("fast", fn, d, cfg)
+	r2, err := c.Run(ctx, "fast", fn, d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,10 +144,10 @@ func TestCacheHitMissCounting(t *testing.T) {
 		t.Fatalf("engine ran %d times, want 1", calls.Load())
 	}
 	// A different point and a different engine are both fresh.
-	if _, err := c.Run("fast", fn, testDesign(3.2), cfg); err != nil {
+	if _, err := c.Run(ctx, "fast", fn, testDesign(3.2), cfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Run("reference", fn, d, cfg); err != nil {
+	if _, err := c.Run(ctx, "reference", fn, d, cfg); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Stats()
@@ -155,19 +163,19 @@ func TestCacheLRUEviction(t *testing.T) {
 	cfg := testConfig(10)
 	a, b, d3 := testDesign(3.0), testDesign(3.1), testDesign(3.2)
 
-	c.Run("fast", fn, a, cfg)
-	c.Run("fast", fn, b, cfg)
-	c.Run("fast", fn, a, cfg)  // refresh a: b is now the LRU victim
-	c.Run("fast", fn, d3, cfg) // evicts b
+	c.Run(ctx, "fast", fn, a, cfg)
+	c.Run(ctx, "fast", fn, b, cfg)
+	c.Run(ctx, "fast", fn, a, cfg)  // refresh a: b is now the LRU victim
+	c.Run(ctx, "fast", fn, d3, cfg) // evicts b
 	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
 		t.Fatalf("stats %+v, want 1 eviction / 2 entries", st)
 	}
 	before := calls.Load()
-	c.Run("fast", fn, a, cfg) // still resident
+	c.Run(ctx, "fast", fn, a, cfg) // still resident
 	if calls.Load() != before {
 		t.Fatal("refreshed entry was evicted")
 	}
-	c.Run("fast", fn, b, cfg) // evicted → re-runs
+	c.Run(ctx, "fast", fn, b, cfg) // evicted → re-runs
 	if calls.Load() != before+1 {
 		t.Fatal("evicted entry answered from cache")
 	}
@@ -181,7 +189,7 @@ func TestCacheBypassOnUnhashableInput(t *testing.T) {
 	d.Policy = funcPolicy{decide: func(float64) bool { return true }}
 	cfg := testConfig(10)
 	for i := 0; i < 2; i++ {
-		if _, err := c.Run("fast", fn, d, cfg); err != nil {
+		if _, err := c.Run(ctx, "fast", fn, d, cfg); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -222,7 +230,7 @@ func TestSingleFlightDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		r, err := c.Run("fast", blocking, d, cfg)
+		r, err := c.Run(ctx, "fast", blocking, d, cfg)
 		if err != nil {
 			t.Error(err)
 		}
@@ -233,7 +241,7 @@ func TestSingleFlightDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := c.Run("fast", blocking, d, cfg)
+			r, err := c.Run(ctx, "fast", blocking, d, cfg)
 			if err != nil {
 				t.Error(err)
 			}
@@ -279,10 +287,10 @@ func TestSingleFlightLeaderErrorNotCached(t *testing.T) {
 	}
 	c := New(Options{})
 	d, cfg := testDesign(3.0), testConfig(10)
-	if _, err := c.Run("fast", failing, d, cfg); err == nil {
+	if _, err := c.Run(ctx, "fast", failing, d, cfg); err == nil {
 		t.Fatal("leader error must propagate")
 	}
-	if _, err := c.Run("fast", failing, d, cfg); err != nil {
+	if _, err := c.Run(ctx, "fast", failing, d, cfg); err != nil {
 		t.Fatalf("second attempt must retry, got %v", err)
 	}
 	if st := c.Stats(); st.Entries != 1 {
@@ -300,7 +308,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 	cfg := testConfig(2)
 
 	c1 := New(Options{Capacity: 4, Dir: dir})
-	r1, err := c1.Run("fast", sim.RunFast, d, cfg)
+	r1, err := c1.Run(ctx, "fast", sim.RunFast, d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +325,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 
 	// A fresh cache (simulated restart) must answer from disk, not re-run.
 	c2 := New(Options{Capacity: 4, Dir: dir})
-	r2, err := c2.Run("fast", func(sim.Design, sim.Config) (*sim.Result, error) {
+	r2, err := c2.Run(ctx, "fast", func(sim.Design, sim.Config) (*sim.Result, error) {
 		t.Fatal("disk hit must not re-run the simulation")
 		return nil, nil
 	}, d, cfg)
@@ -336,7 +344,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	c3 := New(Options{Capacity: 4, Dir: dir})
-	if _, err := c3.Run("fast", sim.RunFast, d, cfg); err != nil {
+	if _, err := c3.Run(ctx, "fast", sim.RunFast, d, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if st := c3.Stats(); st.Misses != 1 || st.DiskHits != 0 {
@@ -355,4 +363,69 @@ func canonicalJSON(t *testing.T, r *sim.Result) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestRegisterMetrics renders the cache counters through an obs.Registry —
+// the only /metrics path since the ad-hoc renderer was deleted.
+func TestRegisterMetrics(t *testing.T) {
+	var calls atomic.Int64
+	c := New(Options{Capacity: 4})
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg, "test_simcache")
+
+	fn := fakeEngine(&calls)
+	d, cfg := testDesign(3.0), testConfig(10)
+	c.Run(ctx, "fast", fn, d, cfg)
+	c.Run(ctx, "fast", fn, d, cfg)
+
+	out := string(reg.Render())
+	for _, want := range []string{
+		"test_simcache_hits_total 1",
+		"test_simcache_misses_total 1",
+		"test_simcache_entries 1",
+		"# TYPE test_simcache_hits_total counter",
+		"# TYPE test_simcache_entries gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunLogsUnderTrace pins the trace-correlation contract: a context
+// annotated by obs carries its trace ID into the cache's debug lines.
+func TestRunLogsUnderTrace(t *testing.T) {
+	var calls atomic.Int64
+	var buf bytes.Buffer
+	lg, err := obs.NewLogger(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tctx, id := obs.Annotate(context.Background(), lg, "req-", "")
+
+	c := New(Options{Capacity: 4})
+	fn := fakeEngine(&calls)
+	d, cfg := testDesign(3.0), testConfig(10)
+	c.Run(tctx, "fast", fn, d, cfg) // miss
+	c.Run(tctx, "fast", fn, d, cfg) // hit
+
+	var miss, hit bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q", line)
+		}
+		if rec["trace"] != id {
+			t.Fatalf("log line missing trace %q: %s", id, line)
+		}
+		switch rec["msg"] {
+		case "simcache miss":
+			miss = true
+		case "simcache hit":
+			hit = true
+		}
+	}
+	if !miss || !hit {
+		t.Fatalf("want both miss and hit lines, got:\n%s", buf.String())
+	}
 }
