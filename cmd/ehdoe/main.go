@@ -26,8 +26,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/report"
@@ -95,6 +97,30 @@ func cacheFlags(fs *flag.FlagSet) func(*core.Problem) *simcache.Cache {
 	}
 }
 
+// resilienceFlags registers the retry/deadline and fault-injection flags
+// on fs and returns a function that applies them to a problem. Apply it
+// after the cache wiring: the injector wraps whatever runner the problem
+// has, so injected faults hit before the cache (replicated points still
+// draw from the schedule).
+func resilienceFlags(fs *flag.FlagSet) func(*core.Problem) error {
+	retries := fs.Int("run-retries", 2, "max retries per design run after transient simulation faults")
+	retryBase := fs.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+	runTimeout := fs.Duration("run-timeout", 0, "per-simulation-run deadline (0 = unbounded)")
+	faultCfg := fault.FlagConfig(fs)
+	return func(p *core.Problem) error {
+		cfg := faultCfg()
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		p.Retry = core.RetryPolicy{MaxAttempts: *retries + 1, BaseDelay: *retryBase}
+		p.RunTimeout = *runTimeout
+		if cfg.Enabled() {
+			p.Runner = fault.New(cfg).Wrap(p.Runner)
+		}
+		return nil
+	}
+}
+
 // obsFlags registers the observability flags on fs and returns a function
 // that builds the command's root context: a run-ID-annotated structured
 // logger (simulation, design-run and cache lines all carry the same run
@@ -131,6 +157,7 @@ func cmdBuild(args []string) error {
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = all cores, 1 = serial)")
 	out := fs.String("out", "surfaces.json", "output file")
 	withCache := cacheFlags(fs)
+	withResilience := resilienceFlags(fs)
 	withObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +168,9 @@ func cmdBuild(args []string) error {
 	}
 	p := problem(*amp, *horizon)
 	cache := withCache(p)
+	if err := withResilience(p); err != nil {
+		return err
+	}
 	k := len(p.Factors)
 	quad := rsm.FullQuadratic(k)
 
@@ -342,6 +372,7 @@ func cmdOptimize(args []string) error {
 	amp := fs.Float64("amp", 0.6, "excitation amplitude for the confirming run")
 	seed := fs.Int64("seed", 1, "multi-start seed")
 	withCache := cacheFlags(fs)
+	withResilience := resilienceFlags(fs)
 	withObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -392,6 +423,9 @@ func cmdOptimize(args []string) error {
 	if *confirm {
 		p := problem(*amp, ss.Horizon)
 		withCache(p)
+		if err := withResilience(p); err != nil {
+			return err
+		}
 		resp, err := p.ResponsesAtContext(ctx, best.X)
 		if err != nil {
 			return err
@@ -409,6 +443,7 @@ func cmdValidate(args []string) error {
 	amp := fs.Float64("amp", 0.6, "excitation amplitude")
 	seed := fs.Int64("seed", 1, "validation-point seed")
 	withCache := cacheFlags(fs)
+	withResilience := resilienceFlags(fs)
 	withObs := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -423,6 +458,9 @@ func cmdValidate(args []string) error {
 	}
 	p := problem(*amp, ss.Horizon)
 	withCache(p)
+	if err := withResilience(p); err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	t := report.NewTable(fmt.Sprintf("validation at %d fresh points", *n),
 		"response", "mean_abs_err", "max_abs_err")

@@ -44,6 +44,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/simcache"
@@ -59,6 +61,13 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	readTimeout := flag.Duration("read-timeout", 60*time.Second, "max duration for reading an entire request (slowloris guard)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-build-job deadline; also caps request timeout_s (0 = unbounded)")
+	runTimeout := flag.Duration("run-timeout", 0, "per-simulation-run deadline within a build (0 = unbounded)")
+	runRetries := flag.Int("run-retries", 2, "max retries per design run after transient simulation faults")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+	faultCfg := fault.FlagConfig(flag.CommandLine)
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -67,13 +76,41 @@ func main() {
 		os.Exit(1)
 	}
 
+	fcfg := faultCfg()
+	if err := fcfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)
+		os.Exit(1)
+	}
+	var inj *fault.Injector
+	if fcfg.Enabled() {
+		inj = fault.New(fcfg)
+		logger.Warn("fault injection enabled", "seed", fcfg.Seed,
+			"p_transient", fcfg.PTransient, "p_permanent", fcfg.PPermanent,
+			"p_panic", fcfg.PPanic, "p_nan", fcfg.PNaN, "p_latency", fcfg.PLatency)
+	}
+
 	cache := simcache.New(simcache.Options{Capacity: *cacheSize, Dir: *cacheDir})
+	// The problem factory wires the resilience policy (and the optional
+	// fault injector, in front of the cache) into every build/validate.
+	problem := func(amp, horizon float64) *core.Problem {
+		p := core.StandardProblem(amp, horizon)
+		p.Retry = core.RetryPolicy{MaxAttempts: *runRetries + 1, BaseDelay: *retryBase}
+		p.RunTimeout = *runTimeout
+		var runner simcache.Runner = cache
+		if inj != nil {
+			runner = inj.Wrap(cache)
+		}
+		p.Runner = runner
+		return p
+	}
 	srv, err := serve.New(serve.Config{
 		ModelsDir:   *models,
 		QueueCap:    *queue,
+		Problem:     problem,
 		Cache:       cache,
 		Logger:      logger,
 		EnablePprof: *pprof,
+		JobTimeout:  *jobTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)
@@ -81,7 +118,15 @@ func main() {
 	}
 	logger.Info("ehdoed serving", "models", srv.Registry().Len(), "addr", *addr, "pprof", *pprof)
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slowloris hardening: bound header receipt, whole-request reads
+		// and keep-alive idling so stuck clients can't pin connections.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 

@@ -107,6 +107,14 @@ type Problem struct {
 	// simulation cache (DefaultRunner). Set simcache.Direct{} to force
 	// every run, or a dedicated *simcache.Cache for isolated caching.
 	Runner simcache.Runner
+	// Retry is the per-run retry policy of design runs: transient
+	// failures (injected faults, recovered panics, per-run timeouts)
+	// back off and retry. Zero value = one attempt.
+	Retry RetryPolicy
+	// RunTimeout, when positive, is the per-run deadline: a simulation
+	// exceeding it is abandoned with a retryable *RunTimeoutError
+	// instead of pinning its worker forever.
+	RunTimeout time.Duration
 }
 
 // Engine names understood by the standard problems.
@@ -207,7 +215,9 @@ func (p *Problem) ResponsesAt(coded []float64) (map[ResponseID]float64, error) {
 
 // ResponsesAtContext is ResponsesAt with an explicit context, threading
 // cancellation and the observability trace through to the simulation
-// runner.
+// runner. Extracted responses are checked for numeric validity: a NaN or
+// ±Inf value (a stiff solver corner, an injected fault) is rejected with
+// a typed *NumericError before it can poison an RSM fit.
 func (p *Problem) ResponsesAtContext(ctx context.Context, coded []float64) (map[ResponseID]float64, error) {
 	r, err := p.SimulateCodedContext(ctx, coded)
 	if err != nil {
@@ -218,6 +228,9 @@ func (p *Problem) ResponsesAtContext(ctx context.Context, coded []float64) (map[
 		v, err := Extract(id, r, p.Horizon)
 		if err != nil {
 			return nil, err
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, &NumericError{Response: id, Value: v}
 		}
 		out[id] = v
 	}
@@ -233,6 +246,11 @@ type Dataset struct {
 	// runner it equals SimTime; with a worker pool the ratio
 	// SimWork/SimTime is the achieved parallel speedup.
 	SimWork time.Duration
+	// Retries and PanicsRecovered count the fault-recovery events the
+	// runs needed (see Problem.Retry): retried attempts after transient
+	// failures, and engine panics recovered into errors.
+	Retries         int
+	PanicsRecovered int
 }
 
 // Speedup returns the achieved parallel speedup SimWork/SimTime
@@ -263,11 +281,17 @@ func (p *Problem) RunDesign(d *doe.Design) (*Dataset, error) {
 	start := time.Now()
 	for i, run := range d.Runs {
 		runStart := time.Now()
-		resp, err := p.ResponsesAt(run)
-		if err != nil {
-			return nil, fmt.Errorf("core: run %d failed: %w", i, err)
-		}
+		resp, st, err := p.runWithRetry(context.Background(), i, run)
 		ds.SimWork += time.Since(runStart)
+		ds.Retries += st.retries
+		ds.PanicsRecovered += st.panics
+		if err != nil {
+			ds.SimTime = time.Since(start)
+			ds.Y = nil
+			// ds still carries the timing and fault-recovery stats of the
+			// aborted design run, so callers can surface them.
+			return ds, wrapRunErr(i, st, err)
+		}
 		for _, id := range p.Responses {
 			ds.Y[id] = append(ds.Y[id], resp[id])
 		}

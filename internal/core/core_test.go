@@ -185,8 +185,10 @@ func TestValidationReportAccuracy(t *testing.T) {
 		t.Fatalf("rows = %d", len(rep.Rows))
 	}
 	// The headline claim: RSM evaluation is dramatically cheaper than
-	// simulation for the same points.
-	if rep.RSMTime*100 > rep.SimTime {
+	// simulation for the same points. The race detector skews these
+	// microsecond-scale intervals by an order of magnitude, so the ratio
+	// is only asserted in normal builds.
+	if !raceEnabled && rep.RSMTime*100 > rep.SimTime {
 		t.Fatalf("RSM time %v not ≪ sim time %v", rep.RSMTime, rep.SimTime)
 	}
 	// The smoothest response (stored energy ≈ ½CV², near-linear in the

@@ -55,12 +55,14 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	// so the only shared state needing a lock is the error and the
 	// work-time counter.
 	var (
-		next  atomic.Int64
-		work  atomic.Int64 // summed run durations, ns
-		abort = make(chan struct{})
-		once  sync.Once
-		mu    sync.Mutex
-		first error
+		next    atomic.Int64
+		work    atomic.Int64 // summed run durations, ns
+		retries atomic.Int64 // attempts retried after transient faults
+		panics  atomic.Int64 // panics recovered into errors
+		abort   = make(chan struct{})
+		once    sync.Once
+		mu      sync.Mutex
+		first   error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -99,12 +101,14 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 					return
 				}
 				runStart := time.Now()
-				resp, err := p.ResponsesAtContext(ctx, d.Runs[i])
+				resp, st, err := p.runWithRetry(ctx, i, d.Runs[i])
 				runDur := time.Since(runStart)
 				work.Add(int64(runDur))
+				retries.Add(int64(st.retries))
+				panics.Add(int64(st.panics))
 				if err != nil {
-					lg.Warn("sim run failed", "run", i, "err", err.Error())
-					fail(fmt.Errorf("core: run %d failed: %w", i, err))
+					lg.Warn("sim run failed", "run", i, "attempts", st.attempts, "err", err.Error())
+					fail(wrapRunErr(i, st, err))
 					return
 				}
 				lg.Debug("sim run", "run", i, "sim_ms", float64(runDur.Microseconds())/1e3)
@@ -118,7 +122,16 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	mu.Unlock()
 	if err != nil {
 		lg.Warn("design run aborted", "design", d.Name, "err", err.Error())
-		return nil, err
+		// Return a Y-less Dataset carrying the timing and fault-recovery
+		// stats of the aborted run, so callers (e.g. the job manager) can
+		// still surface retry/panic counts for failed builds.
+		return &Dataset{
+			Design:          d,
+			SimTime:         time.Since(start),
+			SimWork:         time.Duration(work.Load()),
+			Retries:         int(retries.Load()),
+			PanicsRecovered: int(panics.Load()),
+		}, err
 	}
 	ds := &Dataset{Design: d, Y: make(map[ResponseID][]float64, len(p.Responses))}
 	for _, id := range p.Responses {
@@ -130,6 +143,8 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	}
 	ds.SimTime = time.Since(start)
 	ds.SimWork = time.Duration(work.Load())
+	ds.Retries = int(retries.Load())
+	ds.PanicsRecovered = int(panics.Load())
 	lg.Info("design run finished", "design", d.Name, "runs", d.N(),
 		"sim_ms", float64(ds.SimTime.Microseconds())/1e3,
 		"work_ms", float64(ds.SimWork.Microseconds())/1e3,

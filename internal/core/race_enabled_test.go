@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under it (instrumentation skews small intervals
+// by an order of magnitude).
+const raceEnabled = true

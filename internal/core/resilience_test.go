@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// transientErr is a retryable failure for tests (structural marker, like
+// the ones internal/fault injects).
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "synthetic transient failure" }
+func (transientErr) Transient() bool { return true }
+
+// scriptedRunner fails (or panics, or blocks) for the first failFirst
+// calls, then returns a canned finite result without simulating.
+type scriptedRunner struct {
+	calls     atomic.Int64
+	failFirst int64
+	err       error
+	panics    bool
+	block     chan struct{} // when non-nil, failing calls block here instead
+	result    sim.Result
+}
+
+func (r *scriptedRunner) Run(ctx context.Context, engine string, fn simcache.Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	if r.calls.Add(1) <= r.failFirst {
+		switch {
+		case r.block != nil:
+			<-r.block
+		case r.panics:
+			panic("scripted engine panic")
+		default:
+			return nil, r.err
+		}
+	}
+	res := r.result
+	return &res, nil
+}
+
+func scriptedProblem(r *scriptedRunner) *Problem {
+	p := quickProblem()
+	p.Runner = r
+	p.Retry.BaseDelay = time.Millisecond
+	p.Retry.MaxDelay = 2 * time.Millisecond
+	return p
+}
+
+func TestRetryTransientSucceeds(t *testing.T) {
+	r := &scriptedRunner{failFirst: 2, err: transientErr{}}
+	p := scriptedProblem(r)
+	p.Retry.MaxAttempts = 3
+	design, _ := doe.TwoLevelFactorial(3)
+
+	for _, mode := range []string{"serial", "parallel"} {
+		r.calls.Store(0)
+		var ds *Dataset
+		var err error
+		if mode == "serial" {
+			ds, err = p.RunDesign(design)
+		} else {
+			ds, err = p.RunDesignContext(context.Background(), design, 2)
+		}
+		if err != nil {
+			t.Fatalf("%s: build must survive transient faults via retries: %v", mode, err)
+		}
+		if ds.Retries != 2 {
+			t.Fatalf("%s: want 2 retries recorded, got %d", mode, ds.Retries)
+		}
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	r := &scriptedRunner{failFirst: 1 << 30, err: transientErr{}}
+	p := scriptedProblem(r)
+	p.Retry.MaxAttempts = 2
+	design, _ := doe.TwoLevelFactorial(3)
+
+	ds, err := p.RunDesign(design)
+	if err == nil {
+		t.Fatal("exhausted retries must fail the run")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("error must report the attempt count: %v", err)
+	}
+	if ds == nil || ds.Retries != 1 {
+		t.Fatalf("failed dataset must still carry retry stats: %+v", ds)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	r := &scriptedRunner{failFirst: 1 << 30, err: fmt.Errorf("permanent engine failure")}
+	p := scriptedProblem(r)
+	p.Retry.MaxAttempts = 5
+	design, _ := doe.TwoLevelFactorial(3)
+
+	if _, err := p.RunDesign(design); err == nil {
+		t.Fatal("permanent failure must fail the run")
+	}
+	if n := r.calls.Load(); n != 1 {
+		t.Fatalf("permanent failure must not be retried: %d calls", n)
+	}
+}
+
+func TestPanicRecoveredIntoError(t *testing.T) {
+	r := &scriptedRunner{failFirst: 1 << 30, panics: true}
+	p := scriptedProblem(r)
+	design, _ := doe.TwoLevelFactorial(3)
+
+	ds, err := p.RunDesignContext(context.Background(), design, 2)
+	if err == nil {
+		t.Fatal("a permanently panicking engine must fail the build, not crash the test binary")
+	}
+	var perr *RunPanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("want *RunPanicError in the chain, got %v", err)
+	}
+	if perr.Run < 0 || perr.Run >= design.N() {
+		t.Fatalf("panic error must carry its design-point index, got %d", perr.Run)
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "scripted engine panic") {
+		t.Fatalf("error must surface the panic message: %v", err)
+	}
+	if len(perr.Stack) == 0 {
+		t.Fatal("panic error must capture the stack")
+	}
+	if ds == nil || ds.PanicsRecovered == 0 {
+		t.Fatalf("failed dataset must count recovered panics: %+v", ds)
+	}
+	if !IsTransient(perr) {
+		t.Fatal("recovered panics must be retryable")
+	}
+}
+
+func TestPanicRetriedThenSucceeds(t *testing.T) {
+	r := &scriptedRunner{failFirst: 1, panics: true}
+	p := scriptedProblem(r)
+	p.Retry.MaxAttempts = 2
+	design, _ := doe.TwoLevelFactorial(3)
+
+	ds, err := p.RunDesign(design)
+	if err != nil {
+		t.Fatalf("one panic within the retry budget must not fail the build: %v", err)
+	}
+	if ds.PanicsRecovered != 1 || ds.Retries != 1 {
+		t.Fatalf("want 1 panic + 1 retry recorded, got %d/%d", ds.PanicsRecovered, ds.Retries)
+	}
+}
+
+func TestRunTimeoutAbandonsHungRun(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	r := &scriptedRunner{failFirst: 1 << 30, block: block}
+	p := scriptedProblem(r)
+	p.RunTimeout = 20 * time.Millisecond
+	design, _ := doe.TwoLevelFactorial(3)
+
+	start := time.Now()
+	_, err := p.RunDesignContext(context.Background(), design, 1)
+	if err == nil {
+		t.Fatal("hung run must time out")
+	}
+	var terr *RunTimeoutError
+	if !errors.As(err, &terr) {
+		t.Fatalf("want *RunTimeoutError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("timeout must unwrap to context.DeadlineExceeded")
+	}
+	if !IsTransient(terr) {
+		t.Fatal("per-run timeouts must be retryable")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("worker stayed pinned for %s", d)
+	}
+}
+
+func TestNaNResponseRejectedNotRetried(t *testing.T) {
+	r := &scriptedRunner{result: sim.Result{AvgHarvestedPower: math.NaN()}}
+	p := scriptedProblem(r)
+	p.Retry.MaxAttempts = 5
+	design, _ := doe.TwoLevelFactorial(3)
+
+	_, err := p.RunDesign(design)
+	if err == nil {
+		t.Fatal("NaN responses must be rejected before fitting")
+	}
+	var nerr *NumericError
+	if !errors.As(err, &nerr) {
+		t.Fatalf("want *NumericError, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("numeric invalidity must not be retryable")
+	}
+	if n := r.calls.Load(); n != 1 {
+		t.Fatalf("NaN must not be retried: %d calls", n)
+	}
+}
+
+func TestRetryCountsReachFaultStats(t *testing.T) {
+	r := &scriptedRunner{failFirst: 1, err: transientErr{}}
+	p := scriptedProblem(r)
+	p.Retry.MaxAttempts = 2
+	design, _ := doe.TwoLevelFactorial(3)
+
+	fs := &obs.FaultStats{}
+	ctx := obs.WithFaultStats(context.Background(), fs)
+	if _, err := p.RunDesignContext(ctx, design, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Retries.Value() != 1 {
+		t.Fatalf("context fault stats must see the retry, got %d", fs.Retries.Value())
+	}
+}

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// okEngine returns a fixed finite result.
+func okEngine(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	return &sim.Result{AvgHarvestedPower: 1e-6, StoredEnergyEnd: 0.5, UptimeFraction: 0.9}, nil
+}
+
+// schedule runs n calls through a fresh injector over okEngine and
+// records each call's observable outcome.
+func schedule(t *testing.T, cfg Config, n int) []string {
+	t.Helper()
+	r := New(cfg).Wrap(simcache.Direct{})
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, outcome(r))
+	}
+	return out
+}
+
+// outcome classifies a single wrapped call.
+func outcome(r simcache.Runner) (kind string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			kind = "panic"
+		}
+	}()
+	res, err := r.Run(context.Background(), "test", okEngine, sim.Design{}, sim.Config{})
+	switch {
+	case err == nil && math.IsNaN(res.AvgHarvestedPower):
+		return "nan"
+	case err == nil:
+		return "ok"
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return "transient"
+	}
+	var pe *PermanentError
+	if errors.As(err, &pe) {
+		return "permanent"
+	}
+	return "err:" + err.Error()
+}
+
+// TestScheduleDeterministic is the acceptance check for reproducible
+// chaos: the same seed must yield the identical fault schedule, and a
+// different seed a different one.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, PTransient: 0.25, PPermanent: 0.1, PPanic: 0.15, PNaN: 0.1}
+	const n = 200
+	a := schedule(t, cfg, n)
+	b := schedule(t, cfg, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: seed %d produced %q then %q", i, cfg.Seed, a[i], b[i])
+		}
+	}
+	// Every kind must actually appear at these probabilities over 200 calls.
+	seen := map[string]int{}
+	for _, k := range a {
+		seen[k]++
+	}
+	for _, want := range []string{"ok", "transient", "permanent", "panic", "nan"} {
+		if seen[want] == 0 {
+			t.Fatalf("kind %q never drawn in %d calls: %v", want, n, seen)
+		}
+	}
+
+	other := cfg
+	other.Seed = 43
+	c := schedule(t, other, n)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestDecideMatchesIntercept pins the pure schedule function to what the
+// injector actually does, so tests can predict a chaos run from Decide.
+func TestDecideMatchesIntercept(t *testing.T) {
+	cfg := Config{Seed: 7, PTransient: 0.3, PPanic: 0.2, PNaN: 0.2}
+	got := schedule(t, cfg, 100)
+	for i, g := range got {
+		want := "ok"
+		switch cfg.Decide(uint64(i)).Kind {
+		case Transient:
+			want = "transient"
+		case Permanent:
+			want = "permanent"
+		case Panic:
+			want = "panic"
+		case NaN:
+			want = "nan"
+		}
+		if g != want {
+			t.Fatalf("call %d: Decide says %q, injector did %q", i, want, g)
+		}
+	}
+}
+
+func TestErrorsAreTyped(t *testing.T) {
+	te := &TransientError{Call: 3}
+	if !te.Transient() {
+		t.Fatal("TransientError must be transient")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(error(te), &tr) || !tr.Transient() {
+		t.Fatal("TransientError must expose Transient() through errors.As")
+	}
+	pe := &PermanentError{Call: 4}
+	if errors.As(error(pe), &tr) {
+		t.Fatal("PermanentError must not be marked transient")
+	}
+}
+
+func TestNaNPoisonsACopy(t *testing.T) {
+	orig := &sim.Result{AvgHarvestedPower: 2e-6, StoredEnergyEnd: 1, UptimeFraction: 1}
+	inj := New(Config{Seed: 1, PNaN: 1})
+	res, err := inj.Wrap(simcache.Direct{}).Run(context.Background(), "t",
+		func(sim.Design, sim.Config) (*sim.Result, error) { return orig, nil },
+		sim.Design{}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.AvgHarvestedPower) || !math.IsInf(res.StoredEnergyEnd, 1) {
+		t.Fatalf("result not poisoned: %+v", res)
+	}
+	if math.IsNaN(orig.AvgHarvestedPower) || math.IsInf(orig.StoredEnergyEnd, 1) {
+		t.Fatal("original (possibly cached) result was mutated")
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	inj := New(Config{Seed: 1, PLatency: 1, Latency: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := inj.Wrap(nil).Run(ctx, "t", okEngine, sim.Design{}, sim.Config{})
+	if err == nil {
+		t.Fatal("cancelled context must abort injected latency")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancellation took %s", d)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{Seed: 1, PTransient: 0.5, PPanic: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{PTransient: -0.1},
+		{PNaN: 1.5},
+		{PTransient: 0.6, PPermanent: 0.6},
+		{PLatency: 0.5}, // latency probability without a duration
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v must be rejected", bad)
+		}
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if !(Config{PPanic: 0.1}).Enabled() {
+		t.Fatal("non-zero probability must enable")
+	}
+}

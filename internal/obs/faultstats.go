@@ -1,0 +1,31 @@
+package obs
+
+import "context"
+
+// FaultStats aggregates fault-recovery events occurring beneath a
+// context: design-run retries after transient failures and simulation
+// panics recovered into errors. It is the seam through which deep layers
+// (internal/core) surface fault-tolerance activity to whoever owns the
+// metrics registry — the owner registers callback readers over the
+// counters, deep layers increment them via FaultStatsFrom without knowing
+// about HTTP or registries, and the counts survive even when the run that
+// caused them ultimately fails.
+type FaultStats struct {
+	Retries Counter // run attempts retried after a transient fault
+	Panics  Counter // panics recovered into errors
+}
+
+// faultKey is distinct from the trace/logger keys in obs.go.
+type faultStatsKey struct{}
+
+// WithFaultStats stores the stats sink in the context.
+func WithFaultStats(ctx context.Context, s *FaultStats) context.Context {
+	return context.WithValue(ctx, faultStatsKey{}, s)
+}
+
+// FaultStatsFrom returns the context's stats sink, or nil when none was
+// installed (callers must nil-check; most contexts carry none).
+func FaultStatsFrom(ctx context.Context) *FaultStats {
+	s, _ := ctx.Value(faultStatsKey{}).(*FaultStats)
+	return s
+}

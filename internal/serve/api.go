@@ -205,6 +205,9 @@ type BuildRequest struct {
 	Excite  float64 `json:"excite,omitempty"`
 	Seed    int64   `json:"seed,omitempty"`
 	Workers int     `json:"workers,omitempty"`
+	// TimeoutS bounds the whole build in seconds; 0 means the server
+	// default, and the server's configured maximum always caps it.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // JobView is the JSON snapshot of a build job. TraceID is the request ID
@@ -221,13 +224,20 @@ type JobView struct {
 	Amp        float64            `json:"amp"`
 	Seed       int64              `json:"seed"`
 	Workers    int                `json:"workers,omitempty"`
+	TimeoutS   float64            `json:"timeout_s,omitempty"`
 	Error      string             `json:"error,omitempty"`
+	ErrorCode  string             `json:"error_code,omitempty"`
 	EnqueuedAt string             `json:"enqueued_at,omitempty"`
 	StartedAt  string             `json:"started_at,omitempty"`
 	FinishedAt string             `json:"finished_at,omitempty"`
 	SimMillis  float64            `json:"sim_ms,omitempty"`
 	Speedup    float64            `json:"speedup,omitempty"`
 	R2         map[string]float64 `json:"r2,omitempty"`
+	// Retries and PanicsRecovered count the fault-recovery events of the
+	// build's design runs; populated for finished jobs, including failed
+	// ones.
+	Retries         int `json:"retries,omitempty"`
+	PanicsRecovered int `json:"panics_recovered,omitempty"`
 }
 
 // JobsResponse is a page of job snapshots. NextAfter, when set, is the
@@ -260,5 +270,16 @@ const (
 	codeQueueFull      = "queue_full"      // build queue at capacity
 	codeShuttingDown   = "shutting_down"   // server is draining
 	codeClientClosed   = "client_closed"   // client disconnected mid-work
+	codeNumericInvalid = "numeric_invalid" // simulation produced NaN/Inf responses
 	codeInternal       = "internal"        // unexpected server-side failure
+)
+
+// Machine-readable codes carried by JobView.ErrorCode for failed or
+// canceled jobs. Empty means a plain failure (validation, fit, or an
+// unretryable simulation error).
+const (
+	jobCodeTimeout  = "timeout"         // build exceeded its per-job deadline
+	jobCodePanic    = "panic"           // a simulation panic exhausted the retry budget
+	jobCodeCanceled = "canceled"        // server shutdown cancelled the job
+	jobCodeNumeric  = "numeric_invalid" // a simulation produced NaN/Inf responses
 )

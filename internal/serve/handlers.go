@@ -320,6 +320,11 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		}
 		sim, err := p.ResponsesAtContext(r.Context(), x)
 		if err != nil {
+			var nerr *core.NumericError
+			if errors.As(err, &nerr) {
+				writeError(w, http.StatusInternalServerError, codeNumericInvalid, "simulation %d failed: %v", i, err)
+				return
+			}
 			writeError(w, http.StatusInternalServerError, codeInternal, "simulation %d failed: %v", i, err)
 			return
 		}

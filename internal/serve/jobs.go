@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -32,13 +33,17 @@ type Job struct {
 
 	State    JobState
 	Error    string
-	Runs     int // design size, known once the job starts
+	Code     string // machine-readable failure class (jobCode*)
+	Runs     int    // design size, known once the job starts
+	Timeout  time.Duration
 	Enqueued time.Time
 	Started  time.Time
 	Finished time.Time
 	SimTime  time.Duration
 	Speedup  float64
 	R2       map[string]float64
+	Retries  int // design-run attempts retried after transient faults
+	Panics   int // simulation panics recovered into errors
 }
 
 // view renders a snapshot; callers must hold the manager lock.
@@ -55,10 +60,17 @@ func (j *Job) view() JobView {
 		Seed:       j.Req.Seed,
 		Workers:    j.Req.Workers,
 		Error:      j.Error,
+		ErrorCode:  j.Code,
 		EnqueuedAt: stamp(j.Enqueued),
 		StartedAt:  stamp(j.Started),
 		FinishedAt: stamp(j.Finished),
 		Speedup:    j.Speedup,
+
+		Retries:         j.Retries,
+		PanicsRecovered: j.Panics,
+	}
+	if j.Timeout > 0 {
+		v.TimeoutS = j.Timeout.Seconds()
 	}
 	if j.SimTime > 0 {
 		v.SimMillis = float64(j.SimTime.Microseconds()) / 1e3
@@ -91,6 +103,13 @@ type JobManagerConfig struct {
 	// Finished, when set, counts terminal job states (labelled done /
 	// failed / canceled).
 	Finished *obs.CounterVec
+	// JobTimeout bounds each build; it is both the default when a request
+	// sets no timeout_s and the cap when it does. <=0 means unbounded.
+	JobTimeout time.Duration
+	// Faults, when set, receives design-run retry/panic-recovery counts
+	// from builds (via obs.WithFaultStats), so the server can expose them
+	// as metrics.
+	Faults *obs.FaultStats
 }
 
 // JobManager owns a bounded queue of build jobs and a single build worker:
@@ -99,10 +118,12 @@ type JobManagerConfig struct {
 // queue semantics obvious. Finished surfaces are registered (atomically
 // swapped) into the registry under the requested model name.
 type JobManager struct {
-	registry *Registry
-	problem  ProblemFactory
-	log      *slog.Logger
-	finished *obs.CounterVec
+	registry   *Registry
+	problem    ProblemFactory
+	log        *slog.Logger
+	finished   *obs.CounterVec
+	jobTimeout time.Duration
+	faults     *obs.FaultStats
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -132,14 +153,16 @@ func NewJobManager(cfg JobManagerConfig) *JobManager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &JobManager{
-		registry: cfg.Registry,
-		problem:  cfg.Problem,
-		log:      cfg.Log,
-		finished: cfg.Finished,
-		ctx:      ctx,
-		cancel:   cancel,
-		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueCap),
+		registry:   cfg.Registry,
+		problem:    cfg.Problem,
+		log:        cfg.Log,
+		finished:   cfg.Finished,
+		jobTimeout: cfg.JobTimeout,
+		faults:     cfg.Faults,
+		ctx:        ctx,
+		cancel:     cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueCap),
 	}
 	m.wg.Add(1)
 	go m.worker()
@@ -159,6 +182,9 @@ func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, err
 	}
 	if req.Horizon < 0 || req.Excite < 0 {
 		return JobView{}, fmt.Errorf("serve: horizon_s %g and excite %g must be non-negative", req.Horizon, req.Excite)
+	}
+	if req.TimeoutS < 0 {
+		return JobView{}, fmt.Errorf("serve: timeout_s %g must be non-negative", req.TimeoutS)
 	}
 	if req.Horizon == 0 {
 		req.Horizon = 60
@@ -189,6 +215,7 @@ func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, err
 		Trace:    obs.TraceID(ctx),
 		Req:      req,
 		State:    JobQueued,
+		Timeout:  m.effectiveTimeout(req.TimeoutS),
 		Enqueued: time.Now(),
 	}
 	select {
@@ -200,6 +227,20 @@ func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, err
 	m.order = append(m.order, j.ID)
 	m.jobLog(j).Info("job enqueued", "model", req.Model, "design", req.Design)
 	return j.view(), nil
+}
+
+// effectiveTimeout resolves a request's timeout_s against the manager's
+// configured bound: the request may only tighten the deadline, never relax
+// it past the config. Zero everywhere means no deadline.
+func (m *JobManager) effectiveTimeout(timeoutS float64) time.Duration {
+	t := m.jobTimeout
+	if timeoutS > 0 {
+		req := time.Duration(timeoutS * float64(time.Second))
+		if t <= 0 || req < t {
+			t = req
+		}
+	}
+	return t
 }
 
 // jobLog binds a logger with the job's identity: its own ID plus the
@@ -287,6 +328,7 @@ func (m *JobManager) Shutdown(grace time.Duration) {
 			}
 			j.State = JobCanceled
 			j.Error = "canceled: server shutting down"
+			j.Code = jobCodeCanceled
 			j.Finished = time.Now()
 			m.jobLog(j).Info("job canceled", "reason", "server shutting down, job still queued")
 			m.countFinished(JobCanceled)
@@ -320,7 +362,7 @@ func (m *JobManager) worker() {
 	defer m.wg.Done()
 	for j := range m.queue {
 		if m.ctx.Err() != nil {
-			m.finish(j, JobCanceled, fmt.Errorf("canceled: server shutting down"))
+			m.finish(j, JobCanceled, jobCodeCanceled, fmt.Errorf("canceled: server shutting down"))
 			continue
 		}
 		m.run(j)
@@ -332,12 +374,20 @@ func (m *JobManager) run(j *Job) {
 	// The build inherits the submitting request's trace: simulation-run
 	// and cache log lines carry the same trace ID as the access log.
 	ctx := obs.WithLogger(obs.WithTraceID(m.ctx, j.Trace), lg)
+	if m.faults != nil {
+		ctx = obs.WithFaultStats(ctx, m.faults)
+	}
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
 
 	p := m.problem(j.Req.Amp, j.Req.Horizon)
 	k := len(p.Factors)
 	design, err := core.NamedDesign(j.Req.Design, k, j.Req.Runs, j.Req.Seed)
 	if err != nil {
-		m.finish(j, JobFailed, err)
+		m.finish(j, JobFailed, "", err)
 		return
 	}
 
@@ -351,17 +401,22 @@ func (m *JobManager) run(j *Job) {
 		"runs", design.N(), "queue_wait_ms", float64(wait.Microseconds())/1e3)
 
 	ds, err := p.RunDesignContext(ctx, design, j.Req.Workers)
+	if ds != nil {
+		// Even a failed build carries its fault-recovery stats.
+		m.mu.Lock()
+		j.Retries = ds.Retries
+		j.Panics = ds.PanicsRecovered
+		j.SimTime = ds.SimTime
+		m.mu.Unlock()
+	}
 	if err != nil {
-		state := JobFailed
-		if m.ctx.Err() != nil {
-			state = JobCanceled
-		}
-		m.finish(j, state, err)
+		state, code, werr := m.classify(ctx, j, err)
+		m.finish(j, state, code, werr)
 		return
 	}
 	s, err := p.BuildSurfaces(ds, rsm.FullQuadratic(k))
 	if err != nil {
-		m.finish(j, JobFailed, err)
+		m.finish(j, JobFailed, "", err)
 		return
 	}
 	saved := s.SaveWithData(ds)
@@ -385,9 +440,32 @@ func (m *JobManager) run(j *Job) {
 		"speedup", ds.Speedup())
 }
 
-func (m *JobManager) finish(j *Job, state JobState, err error) {
+// classify maps a failed build's error to its terminal state and
+// machine-readable code. ctx is the job's own context (with the per-job
+// deadline applied); m.ctx distinguishes shutdown from everything else.
+func (m *JobManager) classify(ctx context.Context, j *Job, err error) (JobState, string, error) {
+	var perr *core.RunPanicError
+	var nerr *core.NumericError
+	switch {
+	case m.ctx.Err() != nil:
+		return JobCanceled, jobCodeCanceled, err
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		// The job's own deadline fired, as opposed to a per-run timeout
+		// bubbling up (RunTimeoutError also unwraps to DeadlineExceeded).
+		return JobFailed, jobCodeTimeout,
+			fmt.Errorf("build exceeded its %s timeout: %w", j.Timeout, err)
+	case errors.As(err, &perr):
+		return JobFailed, jobCodePanic, err
+	case errors.As(err, &nerr):
+		return JobFailed, jobCodeNumeric, err
+	}
+	return JobFailed, "", err
+}
+
+func (m *JobManager) finish(j *Job, state JobState, code string, err error) {
 	m.mu.Lock()
 	j.State = state
+	j.Code = code
 	if err != nil {
 		j.Error = err.Error()
 	}
@@ -403,6 +481,6 @@ func (m *JobManager) finish(j *Job, state JobState, err error) {
 	case JobCanceled:
 		lg.Info("job canceled", "reason", j.Error)
 	default:
-		lg.Warn("job failed", "err", j.Error)
+		lg.Warn("job failed", "code", code, "err", j.Error)
 	}
 }

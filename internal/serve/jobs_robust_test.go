@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestShutdownMixedJobsNoLeak: shutdown with a finished, a running and a
+// queued job must leave the finished one alone, cancel the queued one
+// immediately (with the canceled code and a logged reason), cancel the
+// running one past the grace period, and leak no goroutines.
+func TestShutdownMixedJobsNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	release := make(chan struct{}) // never closed: the running build can't finish
+	quit := make(chan struct{})
+	// Builds at excite 0.7 complete instantly; everything else blocks.
+	factory := func(amp, horizon float64) *core.Problem {
+		p := core.StandardProblem(amp, horizon)
+		p.Engine = func(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+			if amp == 0.7 {
+				return chaosResult(d), nil
+			}
+			select {
+			case <-release:
+			case <-quit:
+				return nil, errAborted
+			}
+			return chaosResult(d), nil
+		}
+		return p
+	}
+	m := NewJobManager(JobManagerConfig{Problem: factory, QueueCap: 2})
+
+	jDone, err := m.Submit(context.Background(), BuildRequest{Model: "finished", Excite: 0.7, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, jDone.ID, JobDone)
+	jRun, err := m.Submit(context.Background(), BuildRequest{Model: "running", Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, jRun.ID, JobRunning)
+	jQueued, err := m.Submit(context.Background(), BuildRequest{Model: "queued", Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.Shutdown(20 * time.Millisecond)
+		close(done)
+	}()
+	q := waitState(t, m, jQueued.ID, JobCanceled)
+	if q.ErrorCode != jobCodeCanceled || !strings.Contains(q.Error, "shutting down") {
+		t.Fatalf("queued job must carry the canceled code and reason: %+v", q)
+	}
+	// Past the grace period the manager cancels the in-flight build; the
+	// stalled engine call is then aborted by the test hook.
+	time.Sleep(60 * time.Millisecond)
+	close(quit)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown hung on the mixed job set")
+	}
+	if got := waitState(t, m, jRun.ID, JobCanceled); got.ErrorCode != jobCodeCanceled {
+		t.Fatalf("running job must be canceled past the grace period: %+v", got)
+	}
+	if got, _ := m.Get(jDone.ID); got.State != string(JobDone) {
+		t.Fatalf("finished job must survive shutdown untouched: %+v", got)
+	}
+
+	// The worker and any build goroutines must be gone. Give the runtime a
+	// moment to reap them before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestListPageBoundaries pins the pagination edge cases: cursor at the last
+// job, limit past the end, filters that match nothing, and the more flag
+// exactly at the limit.
+func TestListPageBoundaries(t *testing.T) {
+	release := make(chan struct{}) // never closed: 1 running + 4 queued, frozen
+	quit := make(chan struct{})
+	m := NewJobManager(JobManagerConfig{Problem: blockingProblem(release, quit), QueueCap: 8})
+	defer func() {
+		close(quit)
+		m.Shutdown(10 * time.Second)
+	}()
+
+	ids := make([]string, 5)
+	for i := range ids {
+		j, err := m.Submit(context.Background(), BuildRequest{Model: fmt.Sprintf("m%d", i), Horizon: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	waitState(t, m, ids[0], JobRunning)
+
+	if page, more := m.ListPage("", "", 0); len(page) != 5 || more {
+		t.Fatalf("unbounded list: %d jobs, more=%v", len(page), more)
+	}
+	// Cursor sitting on the last job: nothing remains, and more is false.
+	if page, more := m.ListPage("", ids[4], 0); len(page) != 0 || more {
+		t.Fatalf("after=last: %d jobs, more=%v", len(page), more)
+	}
+	// Limit larger than what's left is not an error and more stays false.
+	if page, more := m.ListPage("", ids[2], 10); len(page) != 2 || more {
+		t.Fatalf("limit past the end: %d jobs, more=%v", len(page), more)
+	}
+	// A state no job is in — including one that isn't a JobState at all —
+	// yields an empty page, not an error.
+	if page, more := m.ListPage(JobFailed, "", 0); len(page) != 0 || more {
+		t.Fatalf("state filter with no matches: %d jobs, more=%v", len(page), more)
+	}
+	if page, more := m.ListPage(JobState("bogus"), "", 0); len(page) != 0 || more {
+		t.Fatalf("unknown state filter: %d jobs, more=%v", len(page), more)
+	}
+	// Hitting the limit with matches left must set more.
+	page, more := m.ListPage(JobQueued, "", 2)
+	if len(page) != 2 || !more {
+		t.Fatalf("limit within queued jobs: %d jobs, more=%v", len(page), more)
+	}
+	if page[0].ID != ids[1] || page[1].ID != ids[2] {
+		t.Fatalf("queued page out of submission order: %s, %s", page[0].ID, page[1].ID)
+	}
+	// An unknown cursor falls back to the beginning (the job may have been
+	// submitted before the server restarted).
+	if page, _ := m.ListPage("", "job-999999", 1); len(page) != 1 || page[0].ID != ids[0] {
+		t.Fatalf("unknown cursor must start from the beginning: %+v", page)
+	}
+}

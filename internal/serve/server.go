@@ -6,6 +6,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,9 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the same
 	// mux. Off by default: profiling endpoints expose internals.
 	EnablePprof bool
+	// JobTimeout bounds each build job: the default when a request sets no
+	// timeout_s, and the cap when it does. <=0 means unbounded.
+	JobTimeout time.Duration
 }
 
 // Server wires the registry, job manager and observability into an
@@ -61,6 +65,7 @@ type Server struct {
 	reqs    *obs.CounterVec
 	errs    *obs.CounterVec
 	latency *obs.HistogramVec
+	faults  *obs.FaultStats
 }
 
 // New builds a server, loading any models found in cfg.ModelsDir.
@@ -99,6 +104,7 @@ func New(cfg Config) (*Server, error) {
 		started:  time.Now(),
 		log:      logger,
 		reg:      obs.NewRegistry(),
+		faults:   &obs.FaultStats{},
 	}
 	s.reg.GaugeFunc("ehdoed_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return time.Since(s.started).Seconds()
@@ -106,6 +112,12 @@ func New(cfg Config) (*Server, error) {
 	s.reqs = s.reg.CounterVec("ehdoed_requests_total", "Requests served, by endpoint.", "endpoint")
 	s.errs = s.reg.CounterVec("ehdoed_request_errors_total", "Requests answered with status >= 400, by endpoint.", "endpoint")
 	s.latency = s.reg.HistogramVec("ehdoed_request_latency_seconds", "Request latency, by endpoint.", "endpoint", latencyBuckets)
+	s.reg.CounterFunc("ehdoed_run_retries_total",
+		"Design-run attempts retried after transient simulation faults.",
+		func() float64 { return float64(s.faults.Retries.Value()) })
+	s.reg.CounterFunc("ehdoed_run_panics_recovered_total",
+		"Simulation panics recovered into errors instead of crashing the process.",
+		func() float64 { return float64(s.faults.Panics.Value()) })
 	cache.RegisterMetrics(s.reg, "ehdoed_simcache")
 	if cfg.ModelsDir != "" {
 		if _, err := s.registry.LoadDir(cfg.ModelsDir); err != nil {
@@ -113,11 +125,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.jobs = NewJobManager(JobManagerConfig{
-		Registry: s.registry,
-		Problem:  s.problem,
-		QueueCap: cfg.QueueCap,
-		Log:      logger,
-		Finished: s.reg.CounterVec("ehdoed_jobs_total", "Build jobs finished, by terminal state.", "state"),
+		Registry:   s.registry,
+		Problem:    s.problem,
+		QueueCap:   cfg.QueueCap,
+		Log:        logger,
+		Finished:   s.reg.CounterVec("ehdoed_jobs_total", "Build jobs finished, by terminal state.", "state"),
+		JobTimeout: cfg.JobTimeout,
+		Faults:     s.faults,
 	})
 	s.routes()
 	if cfg.EnablePprof {
@@ -158,37 +172,63 @@ func (s *Server) routes() {
 	}
 }
 
-// statusWriter captures the response status for the middleware.
+// statusWriter captures the response status (and whether anything was
+// written yet, so the recover path knows if a 500 can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // instrument is the one middleware every endpoint passes through: it
 // adopts the client's X-Request-ID (or mints a fresh "req-" ID), binds a
 // trace-carrying logger into the request context, echoes the ID back,
-// records metrics and emits one structured access-log line.
+// recovers handler panics into the uniform 500 envelope, records metrics
+// and emits one structured access-log line. Metrics and the access log
+// live in the defer so panicking requests are counted too.
 func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ctx, id := obs.Annotate(r.Context(), s.log, "req-", r.Header.Get("X-Request-ID"))
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel, by convention compared directly
+					panic(rec)
+				}
+				obs.FromContext(ctx).Error("handler panicked",
+					"endpoint", label, "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, codeInternal, "internal server error")
+				} else {
+					// The response is already in flight; all we can do is
+					// record the failure.
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			dur := time.Since(start)
+			s.reqs.With(label).Inc()
+			if sw.status >= 400 {
+				s.errs.With(label).Inc()
+			}
+			s.latency.With(label).Observe(dur.Seconds())
+			obs.FromContext(ctx).Info("request",
+				"method", r.Method, "path", r.URL.Path, "endpoint", label,
+				"status", sw.status, "dur_ms", float64(dur.Microseconds())/1e3)
+		}()
 		h(sw, r.WithContext(ctx))
-		dur := time.Since(start)
-		s.reqs.With(label).Inc()
-		if sw.status >= 400 {
-			s.errs.With(label).Inc()
-		}
-		s.latency.With(label).Observe(dur.Seconds())
-		obs.FromContext(ctx).Info("request",
-			"method", r.Method, "path", r.URL.Path, "endpoint", label,
-			"status", sw.status, "dur_ms", float64(dur.Microseconds())/1e3)
 	}
 }
 

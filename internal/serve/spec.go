@@ -104,6 +104,7 @@ var errorCodeDocs = []ErrorCodeView{
 	{codeQueueFull, "build queue at capacity; retry later"},
 	{codeShuttingDown, "server is draining; no new work accepted"},
 	{codeClientClosed, "client disconnected mid-work"},
+	{codeNumericInvalid, "simulation produced NaN/Inf responses"},
 	{codeInternal, "unexpected server-side failure"},
 }
 

@@ -1,0 +1,151 @@
+package simcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestDiskCorruptEntryQuarantined: a truncated/corrupt JSON entry must be
+// renamed to *.bad, counted, and the request must proceed as a miss.
+func TestDiskCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	d, cfg := testDesign(3.0), testConfig(5)
+	key, err := Fingerprint("fast", d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(`{"engine":"fast","resu`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Options{Dir: dir})
+	var calls atomic.Int64
+	res, err := c.Run(ctx, "fast", fakeEngine(&calls), d, cfg)
+	if err != nil {
+		t.Fatalf("corrupt disk entry must not fail the run: %v", err)
+	}
+	if res == nil || calls.Load() != 1 {
+		t.Fatalf("corrupt entry must fall through to the engine (calls=%d)", calls.Load())
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json.bad")); err != nil {
+		t.Fatalf("corrupt entry must be quarantined as *.bad: %v", err)
+	}
+	if st := c.Stats(); st.DiskCorrupt != 1 {
+		t.Fatalf("want DiskCorrupt=1, got %d", st.DiskCorrupt)
+	}
+	// The fresh result overwrote the entry; a second cold cache reads it.
+	c2 := New(Options{Dir: dir})
+	var calls2 atomic.Int64
+	if _, err := c2.Run(ctx, "fast", fakeEngine(&calls2), d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls2.Load() != 0 {
+		t.Fatal("repaired entry must serve from disk")
+	}
+}
+
+// TestDiskCorruptMetricExposed checks the disk_corrupt counter renders on
+// the registry alongside the other cache counters.
+func TestDiskCorruptMetricExposed(t *testing.T) {
+	dir := t.TempDir()
+	d, cfg := testDesign(3.1), testConfig(5)
+	key, err := Fingerprint("fast", d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Dir: dir})
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg, "simcache")
+	var calls atomic.Int64
+	if _, err := c.Run(ctx, "fast", fakeEngine(&calls), d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if out := string(reg.Render()); !strings.Contains(out, "simcache_disk_corrupt_total 1") {
+		t.Fatalf("metrics must expose the corrupt counter:\n%s", out)
+	}
+}
+
+// TestEngineMismatchNotQuarantined: a well-formed entry for a different
+// engine is a key collision, not corruption — it must stay on disk.
+func TestEngineMismatchNotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	d, cfg := testDesign(3.2), testConfig(5)
+	key, err := Fingerprint("fast", d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte(`{"engine":"other","result":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Dir: dir})
+	var calls atomic.Int64
+	if _, err := c.Run(ctx, "fast", fakeEngine(&calls), d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskCorrupt != 0 {
+		t.Fatalf("engine mismatch must not count as corruption, got %d", st.DiskCorrupt)
+	}
+}
+
+// TestSingleFlightLeaderPanicReleasesWaiters: a panicking leader must not
+// strand coalesced waiters on the flight channel; they retry fresh and
+// succeed, while the panic keeps unwinding to the leader's caller.
+func TestSingleFlightLeaderPanicReleasesWaiters(t *testing.T) {
+	c := New(Options{})
+	d, cfg := testDesign(3.0), testConfig(5)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	engine := func(sim.Design, sim.Config) (*sim.Result, error) {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+			panic("engine exploded")
+		}
+		return &sim.Result{HarvestedEnergy: 1}, nil
+	}
+
+	leaderPanic := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		c.Run(ctx, "fast", engine, d, cfg)
+	}()
+	<-entered
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, "fast", engine, d, cfg)
+		waiterDone <- err
+	}()
+	// Let the waiter coalesce onto the in-flight entry, then blow it up.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if rec := <-leaderPanic; rec == nil || !strings.Contains(fmt.Sprint(rec), "engine exploded") {
+		t.Fatalf("panic must keep unwinding to the leader's caller, got %v", rec)
+	}
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatalf("waiter must retry fresh after the leader's panic: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung on the panicked leader's flight entry")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("want the waiter's fresh run (2 engine calls), got %d", calls.Load())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -44,14 +45,15 @@ func (Direct) Run(_ context.Context, _ string, fn Engine, d sim.Design, cfg sim.
 
 // Stats is a snapshot of cache counters.
 type Stats struct {
-	Hits       uint64 // answered from the in-memory tier
-	Misses     uint64 // executed the simulation
-	DedupHits  uint64 // waited on an identical in-flight run
-	Evictions  uint64 // LRU entries dropped past capacity
-	DiskHits   uint64 // answered from the disk tier
-	DiskWrites uint64 // entries persisted to the disk tier
-	Bypass     uint64 // unhashable requests run directly
-	Entries    int    // current in-memory entries
+	Hits        uint64 // answered from the in-memory tier
+	Misses      uint64 // executed the simulation
+	DedupHits   uint64 // waited on an identical in-flight run
+	Evictions   uint64 // LRU entries dropped past capacity
+	DiskHits    uint64 // answered from the disk tier
+	DiskWrites  uint64 // entries persisted to the disk tier
+	DiskCorrupt uint64 // corrupt disk entries quarantined (*.bad)
+	Bypass      uint64 // unhashable requests run directly
+	Entries     int    // current in-memory entries
 }
 
 // Options configures a Cache.
@@ -155,7 +157,24 @@ func (c *Cache) Run(ctx context.Context, engine string, fn Engine, d sim.Design,
 		c.flight[key] = fl
 		c.mu.Unlock()
 
+		// A panicking engine must not strand the flight entry: waiters
+		// would block on fl.done forever. The deferred cleanup fails the
+		// flight and lets the panic keep unwinding — no recover here, so
+		// core's run guard sees the original panic value and stack.
+		settled := false
+		defer func() {
+			if settled {
+				return
+			}
+			fl.res, fl.err = nil, errLeaderPanicked
+			c.mu.Lock()
+			delete(c.flight, key)
+			c.mu.Unlock()
+			close(fl.done)
+		}()
+
 		fl.res, fl.err = c.fill(ctx, key, engine, fn, d, cfg)
+		settled = true
 
 		c.mu.Lock()
 		delete(c.flight, key)
@@ -167,6 +186,10 @@ func (c *Cache) Run(ctx context.Context, engine string, fn Engine, d sim.Design,
 		return fl.res, fl.err
 	}
 }
+
+// errLeaderPanicked is what waiters coalesced onto a panicking leader
+// observe; they treat it like any leader failure and retry fresh.
+var errLeaderPanicked = errors.New("simcache: in-flight leader panicked")
 
 // short truncates a fingerprint for log lines: enough to correlate, not
 // enough to drown the output.
@@ -181,7 +204,7 @@ func short(key string) string {
 // the lock held; the single-flight entry guarantees exclusivity per key.
 func (c *Cache) fill(ctx context.Context, key, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
 	lg := obs.FromContext(ctx)
-	if res, ok := c.loadDisk(key, engine); ok {
+	if res, ok := c.loadDisk(ctx, key, engine); ok {
 		c.mu.Lock()
 		c.stats.DiskHits++
 		c.mu.Unlock()
@@ -230,7 +253,7 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-func (c *Cache) loadDisk(key, engine string) (*sim.Result, bool) {
+func (c *Cache) loadDisk(ctx context.Context, key, engine string) (*sim.Result, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
@@ -239,10 +262,38 @@ func (c *Cache) loadDisk(key, engine string) (*sim.Result, bool) {
 		return nil, false
 	}
 	var de diskEntry
-	if err := json.Unmarshal(b, &de); err != nil || de.Result == nil || de.Engine != engine {
+	if err := json.Unmarshal(b, &de); err != nil || de.Result == nil {
+		// Corrupt or truncated entry (torn write, disk fault): quarantine
+		// it so the next request doesn't re-read the junk, and count it —
+		// the run itself proceeds as a plain miss.
+		c.quarantine(ctx, key, err)
+		return nil, false
+	}
+	if de.Engine != engine {
+		// Well-formed entry for a different engine: a key collision, not
+		// corruption. Leave it alone and treat as a miss.
 		return nil, false
 	}
 	return de.Result, true
+}
+
+// quarantine renames a corrupt disk entry to *.bad so it stops shadowing
+// the key, logs the event at warn, and counts it in Stats.DiskCorrupt.
+func (c *Cache) quarantine(ctx context.Context, key string, cause error) {
+	p := c.path(key)
+	reason := "nil result"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	if err := os.Rename(p, p+".bad"); err != nil {
+		// Removal beats leaving the corrupt file to fail every lookup.
+		os.Remove(p)
+	}
+	c.mu.Lock()
+	c.stats.DiskCorrupt++
+	c.mu.Unlock()
+	obs.FromContext(ctx).Warn("simcache disk entry corrupt, quarantined",
+		"key", short(key), "path", p+".bad", "reason", reason)
 }
 
 // storeDisk persists best-effort: a result that cannot be marshalled (or a
@@ -295,6 +346,7 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
 	counter("evictions", "LRU entries dropped past capacity.", func(s Stats) uint64 { return s.Evictions })
 	counter("disk_hits", "Simulations answered from the disk tier.", func(s Stats) uint64 { return s.DiskHits })
 	counter("disk_writes", "Entries persisted to the disk tier.", func(s Stats) uint64 { return s.DiskWrites })
+	counter("disk_corrupt", "Corrupt disk entries quarantined.", func(s Stats) uint64 { return s.DiskCorrupt })
 	counter("bypass", "Unhashable requests run directly.", func(s Stats) uint64 { return s.Bypass })
 	reg.GaugeFunc(prefix+"_entries", "Current in-memory cache entries.", func() float64 {
 		return float64(c.Stats().Entries)
