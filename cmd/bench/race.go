@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Instrumented code is a different program performance-wise, so the
+// harness skips baseline comparison when it is on.
+const raceEnabled = true

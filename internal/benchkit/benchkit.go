@@ -1,0 +1,179 @@
+// Package benchkit is the benchmark-regression harness: it turns
+// testing.Benchmark results into a JSON report (BENCH_<n>.json), and
+// compares a fresh report against a committed baseline with a tolerance
+// band so CI fails loudly when a hot path regresses.
+//
+// Raw ns/op is meaningless across machines, so every report carries a
+// calibration measurement — the ns/op of a fixed pure-CPU workload on the
+// reporting machine — and comparisons use calibration-normalized time
+// (NsPerOp / CalibrationNs). Two machines that differ only in clock speed
+// produce the same normalized numbers; an algorithmic regression moves
+// them on both.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// SchemaVersion identifies the report layout; bump on incompatible change.
+const SchemaVersion = 1
+
+// Metric is one benchmark's measurements.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Normalized is NsPerOp divided by the report's CalibrationNs — the
+	// machine-independent time measure comparisons use.
+	Normalized float64 `json:"normalized,omitempty"`
+}
+
+// Report is one harness run: metrics per benchmark plus derived speedups
+// and the machine calibration they were measured under.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoOS          string `json:"goos"`
+	GoArch        string `json:"goarch"`
+	GoVersion     string `json:"go_version"`
+	// CalibrationNs is the ns/op of the fixed calibration workload on the
+	// machine that produced this report.
+	CalibrationNs float64 `json:"calibration_ns"`
+	// Speedups carries derived ratios (e.g. "fast_vs_reference",
+	// "rsm_vs_sim") computed by the harness binary.
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+	Benchmarks map[string]Metric  `json:"benchmarks"`
+}
+
+// NewReport returns an empty report stamped with the platform and the
+// calibration measurement.
+func NewReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		GoVersion:     runtime.Version(),
+		CalibrationNs: Calibrate(),
+		Speedups:      map[string]float64{},
+		Benchmarks:    map[string]Metric{},
+	}
+}
+
+// Add records a testing.Benchmark result under name.
+func (r *Report) Add(name string, br testing.BenchmarkResult) {
+	m := Metric{
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: float64(br.AllocsPerOp()),
+		BytesPerOp:  float64(br.AllocedBytesPerOp()),
+	}
+	if r.CalibrationNs > 0 {
+		m.Normalized = m.NsPerOp / r.CalibrationNs
+	}
+	r.Benchmarks[name] = m
+}
+
+// SetSpeedup records a derived ratio under name.
+func (r *Report) SetSpeedup(name string, v float64) {
+	if r.Speedups == nil {
+		r.Speedups = map[string]float64{}
+	}
+	r.Speedups[name] = v
+}
+
+var calSink float64
+
+// Calibrate measures the machine: ns/op of a fixed floating-point kernel,
+// sized (~1000 FLOPs) so the benchmark framework settles in well under a
+// second. Reports normalize against it so baselines survive hardware
+// changes.
+func Calibrate() float64 {
+	br := testing.Benchmark(func(b *testing.B) {
+		x := 1.0000001
+		var s float64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 500; j++ {
+				s += x * float64(j)
+				x = x*1.0000000001 + 1e-12
+			}
+		}
+		calSink += s + x
+	})
+	return float64(br.NsPerOp())
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads a report written by WriteFile.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchkit: parsing %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchkit: %s has schema %d, harness speaks %d", path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one benchmark that moved past the tolerance band.
+type Regression struct {
+	Name     string  // benchmark name
+	Kind     string  // "time" or "allocs"
+	Baseline float64 // baseline measure (normalized ns or allocs/op)
+	Current  float64 // current measure
+	Limit    float64 // the threshold Current exceeded
+}
+
+func (v Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed: baseline %.4g, current %.4g (limit %.4g)",
+		v.Name, v.Kind, v.Baseline, v.Current, v.Limit)
+}
+
+// Compare checks current against baseline and returns the regressions:
+// benchmarks whose calibration-normalized time grew by more than tol
+// (fractional, e.g. 0.25 = +25 %), or whose allocation count grew past
+// tol plus a small absolute slack (so 0 → 1 allocs on a tiny benchmark
+// still trips, but measurement jitter on large counts does not).
+// Benchmarks present in only one report are ignored — adding or retiring
+// a benchmark must not fail CI.
+func Compare(baseline, current *Report, tol float64) []Regression {
+	var out []Regression
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		bt, ct := base.NsPerOp, cur.NsPerOp
+		if base.Normalized > 0 && cur.Normalized > 0 {
+			bt, ct = base.Normalized, cur.Normalized
+		}
+		if limit := bt * (1 + tol); ct > limit {
+			out = append(out, Regression{Name: name, Kind: "time", Baseline: bt, Current: ct, Limit: limit})
+		}
+		if limit := base.AllocsPerOp*(1+tol) + 0.5; cur.AllocsPerOp > limit {
+			out = append(out, Regression{Name: name, Kind: "allocs", Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, Limit: limit})
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package benchkit
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func report(cal float64, benches map[string]Metric) *Report {
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		CalibrationNs: cal,
+		Benchmarks:    map[string]Metric{},
+	}
+	for name, m := range benches {
+		if cal > 0 {
+			m.Normalized = m.NsPerOp / cal
+		}
+		r.Benchmarks[name] = m
+	}
+	return r
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	base := report(100, map[string]Metric{
+		"sim/RunFast": {NsPerOp: 1000, AllocsPerOp: 40},
+	})
+	cur := report(100, map[string]Metric{
+		"sim/RunFast": {NsPerOp: 1200, AllocsPerOp: 40}, // +20% < 25%
+	})
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift must pass, got %v", regs)
+	}
+}
+
+func TestCompareFlagsTimeRegression(t *testing.T) {
+	base := report(100, map[string]Metric{
+		"sim/RunFast": {NsPerOp: 1000, AllocsPerOp: 40},
+	})
+	cur := report(100, map[string]Metric{
+		"sim/RunFast": {NsPerOp: 1300, AllocsPerOp: 40}, // +30% > 25%
+	})
+	regs := Compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Kind != "time" || regs[0].Name != "sim/RunFast" {
+		t.Fatalf("want one time regression, got %v", regs)
+	}
+}
+
+// TestCompareNormalizesAcrossMachines: the current machine is 2x slower
+// (calibration 200 vs 100), so 2x the raw ns/op is the same normalized
+// speed and must pass.
+func TestCompareNormalizesAcrossMachines(t *testing.T) {
+	base := report(100, map[string]Metric{
+		"sim/RunFast": {NsPerOp: 1000, AllocsPerOp: 40},
+	})
+	cur := report(200, map[string]Metric{
+		"sim/RunFast": {NsPerOp: 2000, AllocsPerOp: 40},
+	})
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("calibration-equal run must pass, got %v", regs)
+	}
+	// Same raw ns on a machine measured 2x faster IS a regression.
+	fast := report(50, map[string]Metric{
+		"sim/RunFast": {NsPerOp: 1000, AllocsPerOp: 40},
+	})
+	if regs := Compare(base, fast, 0.25); len(regs) != 1 {
+		t.Fatalf("normalized regression must trip, got %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := report(100, map[string]Metric{
+		"la/Expm": {NsPerOp: 100, AllocsPerOp: 0},
+	})
+	cur := report(100, map[string]Metric{
+		"la/Expm": {NsPerOp: 100, AllocsPerOp: 1}, // 0 -> 1 must trip
+	})
+	regs := Compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Kind != "allocs" {
+		t.Fatalf("want one alloc regression, got %v", regs)
+	}
+}
+
+func TestCompareIgnoresDisjointBenchmarks(t *testing.T) {
+	base := report(100, map[string]Metric{
+		"retired": {NsPerOp: 10},
+	})
+	cur := report(100, map[string]Metric{
+		"brand-new": {NsPerOp: 1e9},
+	})
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("disjoint benchmark sets must not fail, got %v", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport()
+	if r.CalibrationNs <= 0 {
+		t.Fatal("calibration must measure something")
+	}
+	r.Add("x", testing.Benchmark(func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 100; j++ {
+				s += float64(i ^ j)
+			}
+		}
+		calSink += s
+	}))
+	r.SetSpeedup("a_vs_b", 3.5)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["x"].NsPerOp != r.Benchmarks["x"].NsPerOp {
+		t.Fatal("ns/op did not round-trip")
+	}
+	if got.Speedups["a_vs_b"] != 3.5 {
+		t.Fatal("speedups did not round-trip")
+	}
+	if got.Benchmarks["x"].Normalized <= 0 {
+		t.Fatal("normalized time must be recorded")
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	r := NewReport()
+	r.SchemaVersion = SchemaVersion + 1
+	b := *r
+	if err := (&b).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("wrong schema version must be rejected")
+	}
+}

@@ -80,3 +80,32 @@ func BenchmarkDiscretizeZOH3x2(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExpmWorkspace5 is the reusable-workspace exponential — the path
+// the simulation engine's ZOH rebuild actually takes. Compare against
+// BenchmarkExpm5 (the one-shot wrapper) to see the allocation overhead the
+// workspace removes.
+func BenchmarkExpmWorkspace5(b *testing.B) {
+	a := benchMatrix(5, 4).Scale(0.01)
+	ws := NewExpmWorkspace(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.Compute(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZOHWorkspace3x2(b *testing.B) {
+	a := NewMatrixFrom(3, 3, []float64{0, 1, 0, -1.6e3 / 0.02, -3, -210, 0, 4200, -5.2e6})
+	bm := NewMatrixFrom(3, 2, []float64{0, 0, -1, 0, 0, 0})
+	ws := NewZOHWorkspace(3, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ws.Discretize(a, bm, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,17 +2,63 @@ package la
 
 import "math"
 
-// Expm returns the matrix exponential e^A computed by scaling-and-squaring
-// with a degree-6 Padé approximant. It is used to build the exact
-// zero-order-hold discretization A_d = e^{A·h} of the linearized harvester
-// state-space model (the explicit technique of companion paper [4]).
-func Expm(a *Matrix) (*Matrix, error) {
+// expmDegree is the Padé approximant degree used by Expm.
+const expmDegree = 6
+
+// ExpmWorkspace holds every buffer the matrix exponential needs for a
+// fixed size n, so repeated calls — one per region per ZOH rebuild in the
+// fast simulation engine — allocate nothing. The zero value is unusable;
+// build one with NewExpmWorkspace. A workspace is not safe for concurrent
+// use.
+type ExpmWorkspace struct {
+	n int
+	// Padé iteration buffers.
+	scaled, pow, tmp, term, even, odd, num, den *Matrix
+	lu                                          LU
+	solveScratch                                []float64
+	result                                      *Matrix
+	c                                           [expmDegree + 1]float64
+}
+
+// NewExpmWorkspace returns a workspace for n×n exponentials.
+func NewExpmWorkspace(n int) *ExpmWorkspace {
+	if n < 0 {
+		panic("la: negative workspace dimension")
+	}
+	ws := &ExpmWorkspace{n: n}
+	ws.scaled = NewMatrix(n, n)
+	ws.pow = NewMatrix(n, n)
+	ws.tmp = NewMatrix(n, n)
+	ws.term = NewMatrix(n, n)
+	ws.even = NewMatrix(n, n)
+	ws.odd = NewMatrix(n, n)
+	ws.num = NewMatrix(n, n)
+	ws.den = NewMatrix(n, n)
+	ws.solveScratch = make([]float64, 2*n)
+	ws.result = NewMatrix(n, n)
+	// Padé(6,6) coefficients are size-independent; compute once.
+	ws.c[0] = 1
+	for k := 1; k <= expmDegree; k++ {
+		ws.c[k] = ws.c[k-1] * float64(expmDegree-k+1) / (float64(k) * float64(2*expmDegree-k+1))
+	}
+	return ws
+}
+
+// Compute returns e^a using the workspace's buffers. The returned matrix is
+// owned by the workspace and is overwritten by the next call; callers that
+// need to keep it must Clone. It performs exactly the same floating-point
+// operations as the original allocating implementation, so results are
+// bit-identical.
+func (ws *ExpmWorkspace) Compute(a *Matrix) (*Matrix, error) {
 	if a.rows != a.cols {
 		return nil, ErrShape
 	}
 	n := a.rows
+	if n != ws.n {
+		return nil, ErrShape
+	}
 	if n == 0 {
-		return NewMatrix(0, 0), nil
+		return ws.result, nil
 	}
 	// Scale A by 2^-s so that ||A/2^s|| is small.
 	norm := matrixNorm1(a)
@@ -23,43 +69,121 @@ func Expm(a *Matrix) (*Matrix, error) {
 			s = 0
 		}
 	}
-	scaled := a.Scale(math.Pow(2, -float64(s)))
+	ScaleInto(ws.scaled, a, math.Pow(2, -float64(s)))
 
 	// Padé(6,6): N(A)·D(A)⁻¹ with coefficients c_k.
-	const degree = 6
-	c := make([]float64, degree+1)
-	c[0] = 1
-	for k := 1; k <= degree; k++ {
-		c[k] = c[k-1] * float64(degree-k+1) / (float64(k) * float64(2*degree-k+1))
+	x := ws.scaled
+	SetIdentity(ws.even)
+	ScaleInto(ws.even, ws.even, ws.c[0])
+	for i := range ws.odd.data {
+		ws.odd.data[i] = 0
 	}
-	x := scaled.Clone()
-	even := Identity(n).Scale(c[0]) // terms with even powers
-	odd := NewMatrix(n, n)          // terms with odd powers
-	pow := Identity(n)
-	for k := 1; k <= degree; k++ {
-		pow = pow.Mul(x)
-		term := pow.Scale(c[k])
+	pow, tmp := ws.pow, ws.tmp
+	SetIdentity(pow)
+	for k := 1; k <= expmDegree; k++ {
+		MulInto(tmp, pow, x)
+		pow, tmp = tmp, pow
+		ScaleInto(ws.term, pow, ws.c[k])
 		if k%2 == 0 {
-			even = even.AddM(term)
+			AddInto(ws.even, ws.even, ws.term)
 		} else {
-			odd = odd.AddM(term)
+			AddInto(ws.odd, ws.odd, ws.term)
 		}
 	}
-	num := even.AddM(odd)
-	den := even.SubM(odd)
-	lu, err := FactorLU(den)
-	if err != nil {
+	AddInto(ws.num, ws.even, ws.odd)
+	SubInto(ws.den, ws.even, ws.odd)
+	if err := ws.lu.Refactor(ws.den); err != nil {
 		return nil, err
 	}
-	r, err := lu.SolveMatrix(num)
-	if err != nil {
+	r, rTmp := ws.result, tmp
+	if err := ws.lu.SolveMatrixInto(r, ws.num, ws.solveScratch); err != nil {
 		return nil, err
 	}
 	// Undo the scaling by repeated squaring.
 	for k := 0; k < s; k++ {
-		r = r.Mul(r)
+		MulInto(rTmp, r, r)
+		r, rTmp = rTmp, r
 	}
+	ws.result = r
+	ws.tmp = rTmp
 	return r, nil
+}
+
+// Expm returns the matrix exponential e^A computed by scaling-and-squaring
+// with a degree-6 Padé approximant. It is used to build the exact
+// zero-order-hold discretization A_d = e^{A·h} of the linearized harvester
+// state-space model (the explicit technique of companion paper [4]).
+// One-shot convenience wrapper over ExpmWorkspace; repeated same-size
+// callers should hold a workspace.
+func Expm(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	ws := NewExpmWorkspace(a.rows)
+	r, err := ws.Compute(a)
+	if err != nil {
+		return nil, err
+	}
+	// The workspace is function-local, so the result needs no defensive copy.
+	return r, nil
+}
+
+// ZOHWorkspace holds the buffers for repeated zero-order-hold
+// discretizations of an (n-state, m-input) system: the (n+m)² block
+// matrix, its exponential workspace, and the output Ad/Bd. Not safe for
+// concurrent use.
+type ZOHWorkspace struct {
+	n, m   int
+	blk    *Matrix
+	ew     *ExpmWorkspace
+	ad, bd *Matrix
+}
+
+// NewZOHWorkspace returns a workspace for n-state, m-input systems.
+func NewZOHWorkspace(n, m int) *ZOHWorkspace {
+	return &ZOHWorkspace{
+		n:   n,
+		m:   m,
+		blk: NewMatrix(n+m, n+m),
+		ew:  NewExpmWorkspace(n + m),
+		ad:  NewMatrix(n, n),
+		bd:  NewMatrix(n, m),
+	}
+}
+
+// Discretize converts ẏ = A·y + B·u into y_{k+1} = Ad·y_k + Bd·u_k over
+// step h. The returned matrices are owned by the workspace and overwritten
+// by the next call. Results are bit-identical to DiscretizeZOH.
+func (ws *ZOHWorkspace) Discretize(a, b *Matrix, h float64) (ad, bd *Matrix, err error) {
+	if a.rows != a.cols || b.rows != a.rows || a.rows != ws.n || b.cols != ws.m {
+		return nil, nil, ErrShape
+	}
+	n, m := ws.n, ws.m
+	blk := ws.blk
+	for i := range blk.data {
+		blk.data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		brow := blk.data[i*blk.cols : i*blk.cols+n+m]
+		arow := a.data[i*n : (i+1)*n]
+		for j, v := range arow {
+			brow[j] = v * h
+		}
+		bbrow := b.data[i*m : (i+1)*m]
+		for j, v := range bbrow {
+			brow[n+j] = v * h
+		}
+	}
+	e, err := ws.ew.Compute(blk)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		erow := e.data[i*e.cols : (i+1)*e.cols]
+		copy(ws.ad.data[i*n:(i+1)*n], erow[:n])
+		copy(ws.bd.data[i*m:(i+1)*m], erow[n:n+m])
+	}
+	return ws.ad, ws.bd, nil
 }
 
 // DiscretizeZOH converts the continuous affine system ẏ = A·y + B·u (u held
@@ -68,35 +192,12 @@ func Expm(a *Matrix) (*Matrix, error) {
 //	y_{k+1} = Ad·y_k + Bd·u_k
 //
 // with Ad = e^{A·h} and Bd = ∫₀ʰ e^{A·τ}dτ·B, computed via the standard
-// block-matrix exponential of [[A, B],[0, 0]].
+// block-matrix exponential of [[A, B],[0, 0]]. One-shot convenience
+// wrapper over ZOHWorkspace.
 func DiscretizeZOH(a, b *Matrix, h float64) (ad, bd *Matrix, err error) {
 	if a.rows != a.cols || b.rows != a.rows {
 		return nil, nil, ErrShape
 	}
-	n := a.rows
-	m := b.cols
-	blk := NewMatrix(n+m, n+m)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			blk.Set(i, j, a.At(i, j)*h)
-		}
-		for j := 0; j < m; j++ {
-			blk.Set(i, n+j, b.At(i, j)*h)
-		}
-	}
-	e, err := Expm(blk)
-	if err != nil {
-		return nil, nil, err
-	}
-	ad = NewMatrix(n, n)
-	bd = NewMatrix(n, m)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			ad.Set(i, j, e.At(i, j))
-		}
-		for j := 0; j < m; j++ {
-			bd.Set(i, j, e.At(i, n+j))
-		}
-	}
-	return ad, bd, nil
+	ws := NewZOHWorkspace(a.rows, b.cols)
+	return ws.Discretize(a, b, h)
 }

@@ -17,9 +17,29 @@ func FactorLU(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, ErrShape
 	}
+	f := &LU{}
+	if err := f.Refactor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor recomputes the factorization of a into f, reusing f's packed
+// matrix and pivot buffers when the shape matches. It is the
+// allocation-free path for callers that factor same-sized systems
+// repeatedly (the matrix exponential inside every ZOH rebuild).
+func (f *LU) Refactor(a *Matrix) error {
+	if a.rows != a.cols {
+		return ErrShape
+	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu == nil || f.lu.rows != n || f.lu.cols != n {
+		f.lu = NewMatrix(n, n)
+		f.piv = make([]int, n)
+	}
+	lu := f.lu
+	copy(lu.data, a.data)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -34,7 +54,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			swapRows(lu, p, k)
@@ -53,7 +73,8 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 func swapRows(m *Matrix, i, j int) {
@@ -66,11 +87,20 @@ func swapRows(m *Matrix, i, j int) {
 
 // Solve solves A·x = b for a single right-hand side.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	n := f.lu.rows
-	if len(b) != n {
-		return nil, ErrShape
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveInto solves A·x = b into the caller-provided x (len n). x must not
+// alias b.
+func (f *LU) SolveInto(x, b []float64) error {
+	n := f.lu.rows
+	if len(b) != n || len(x) != n {
+		return ErrShape
+	}
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
@@ -93,29 +123,45 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		d := f.lu.At(i, i)
 		if d == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = (x[i] - s) / d
 	}
-	return x, nil
+	return nil
 }
 
 // SolveMatrix solves A·X = B column by column.
 func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
-	if b.rows != f.lu.rows {
-		return nil, ErrShape
-	}
 	out := NewMatrix(b.rows, b.cols)
-	for j := 0; j < b.cols; j++ {
-		x, err := f.Solve(b.Col(j))
-		if err != nil {
-			return nil, err
-		}
-		for i, v := range x {
-			out.Set(i, j, v)
-		}
+	n := f.lu.rows
+	if err := f.SolveMatrixInto(out, b, make([]float64, 2*n)); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SolveMatrixInto solves A·X = B column by column into the caller-provided
+// dst. scratch must hold at least 2n floats (one column of B plus one
+// solution vector); pass the same slice across calls to solve without
+// allocating.
+func (f *LU) SolveMatrixInto(dst, b *Matrix, scratch []float64) error {
+	n := f.lu.rows
+	if b.rows != n || dst.rows != b.rows || dst.cols != b.cols || len(scratch) < 2*n {
+		return ErrShape
+	}
+	col, x := scratch[:n], scratch[n:2*n]
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		if err := f.SolveInto(x, col); err != nil {
+			return err
+		}
+		for i, v := range x {
+			dst.data[i*dst.cols+j] = v
+		}
+	}
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.

@@ -86,6 +86,20 @@ func (m *Matrix) check(i, j int) {
 	}
 }
 
+// Data returns the matrix's backing row-major slice. Mutations write
+// through to the matrix. This is the unchecked fast path for hot callers
+// (the simulation inner loop bakes update matrices from it); everyone else
+// should stay on the bounds-checked At/Set.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// RowView returns row i of the matrix without copying. The returned slice
+// aliases the matrix and is capped at the row boundary, so an append never
+// bleeds into the next row. Row index errors surface as slice-bounds
+// panics rather than the formatted check message.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	return NewMatrixFrom(m.rows, m.cols, m.data)

@@ -114,10 +114,26 @@ func (s Supercap) Energy(v float64) float64 { return 0.5 * s.C * v * v }
 // load current iOut (both A), returning the new voltage. Leakage is applied
 // implicitly (exact exponential decay) so large dt remains stable.
 func (s Supercap) Step(v, dt, iIn, iOut float64) float64 {
+	return s.StepWithLeak(v, dt, iIn, iOut, s.LeakFactor(dt))
+}
+
+// LeakFactor returns the self-discharge factor e^(−dt/(R·C)) applied over a
+// step of dt, or 1 when leakage is disabled. Fixed-step integrators can
+// compute it once and use StepWithLeak to avoid an exp per step.
+func (s Supercap) LeakFactor(dt float64) float64 {
+	if s.LeakR <= 0 {
+		return 1
+	}
+	return math.Exp(-dt / (s.LeakR * s.C))
+}
+
+// StepWithLeak is Step with the leak factor supplied by the caller
+// (normally a memoized LeakFactor(dt)).
+func (s Supercap) StepWithLeak(v, dt, iIn, iOut, leak float64) float64 {
 	// Net external current.
 	v += (iIn - iOut) * dt / s.C
 	if s.LeakR > 0 {
-		v *= math.Exp(-dt / (s.LeakR * s.C))
+		v *= leak
 	}
 	if v < 0 {
 		v = 0

@@ -159,6 +159,8 @@ type Result struct {
 	Steps       int           // fast-dynamics integration steps
 	NewtonIters int           // Newton iterations (reference engine only)
 	FuncEvals   int           // RHS evaluations (reference engine only)
+	Rebuilds    int           // ZOH rediscretizations performed (fast engine only)
+	RebuildHits int           // rebuilds answered by the gap memo (fast engine only)
 	Elapsed     time.Duration // wall-clock time of the run
 
 	// Optional decimated waveforms (RecordWaveforms).
@@ -180,6 +182,14 @@ type slowSide struct {
 	regOn  bool
 	env    float64 // EMF amplitude envelope (V)
 	envTau float64
+
+	// Both engines call step with a fixed dt, so the two exponential decay
+	// factors (envelope release, supercap leak) are constants of the run.
+	// They are memoized on the dt they were computed for — recomputing on a
+	// dt change keeps the values bit-identical to evaluating exp per step.
+	decayDt   float64
+	envDecay  float64
+	leakDecay float64
 
 	harvested float64
 	consumed  float64
@@ -218,9 +228,13 @@ func newSlowSide(d Design) (*slowSide, error) {
 // current excitation frequency (the charge pump's operating frequency). It
 // returns the magnet gap for the next fast-dynamics step.
 func (s *slowSide) step(dt, emf, excFreq float64) float64 {
+	if dt != s.decayDt {
+		s.decayDt = dt
+		s.envDecay = math.Exp(-dt / s.envTau)
+		s.leakDecay = s.d.Store.LeakFactor(dt)
+	}
 	// EMF envelope (peak detector with exponential release).
-	decay := math.Exp(-dt / s.envTau)
-	s.env *= decay
+	s.env *= s.envDecay
 	if a := math.Abs(emf); a > s.env {
 		s.env = a
 	}
@@ -251,7 +265,7 @@ func (s *slowSide) step(dt, emf, excFreq float64) float64 {
 	if s.d.Store.LeakR > 0 {
 		s.leaked += s.vs * s.vs / s.d.Store.LeakR * dt
 	}
-	s.vs = s.d.Store.Step(s.vs, dt, ichg, iReg+iTune)
+	s.vs = s.d.Store.StepWithLeak(s.vs, dt, ichg, iReg+iTune, s.leakDecay)
 	return s.gap
 }
 
@@ -281,6 +295,20 @@ type recorder struct {
 	d     Design
 	count int
 	res   *Result
+}
+
+// init preallocates the waveform traces to their exact final length,
+// ceil(nSteps/Decimate), so the hot loop never grows them by append.
+func (r *recorder) init(nSteps int) {
+	if !r.cfg.RecordWaveforms || nSteps <= 0 {
+		return
+	}
+	n := (nSteps + r.cfg.Decimate - 1) / r.cfg.Decimate
+	r.res.T = make([]float64, 0, n)
+	r.res.StoreV = make([]float64, 0, n)
+	r.res.Disp = make([]float64, 0, n)
+	r.res.EMF = make([]float64, 0, n)
+	r.res.ResFreq = make([]float64, 0, n)
 }
 
 func (r *recorder) record(t, vs, x, emf, gap float64) {
@@ -317,66 +345,166 @@ func regionOf(x, limit float64) region {
 	}
 }
 
+// gapMemoCap bounds the per-run rebuild memo. A tuning transient revisits
+// the gaps of its previous excursions — the actuator retraces exact
+// deterministic paths between estimator-quantized targets — so the memo
+// must hold a full excursion's rebuild set to avoid sequential-scan
+// thrashing; 32 entries is ~4 KB.
+const gapMemoCap = 32
+
+// gapEntry is one memoized rebuild: the baked region matrices for an exact
+// gap value.
+type gapEntry struct {
+	bits uint64 // math.Float64bits of the gap
+	tick uint64 // last-use stamp for LRU eviction
+	ad   [3][9]float64
+	bd   [3][6]float64
+}
+
+// gapMemo is a tiny LRU of rebuild results keyed by the gap's exact bit
+// pattern. Exact-bit keying is the only quantization that keeps replay
+// bit-identical to rebuilding from scratch; it still hits because the
+// tuner's target gaps come from a discrete set (the frequency estimate is
+// quantized by integer zero-crossing counts, and GapForFreq is
+// deterministic), so settled and revisited gaps repeat exactly.
+type gapMemo struct {
+	entries [gapMemoCap]gapEntry
+	n       int
+	tick    uint64
+}
+
+func (g *gapMemo) lookup(bits uint64) *gapEntry {
+	for i := 0; i < g.n; i++ {
+		if g.entries[i].bits == bits {
+			g.tick++
+			g.entries[i].tick = g.tick
+			return &g.entries[i]
+		}
+	}
+	return nil
+}
+
+// slot returns the entry to fill for bits: a fresh slot while capacity
+// lasts, then the least-recently-used one.
+func (g *gapMemo) slot(bits uint64) *gapEntry {
+	var e *gapEntry
+	if g.n < gapMemoCap {
+		e = &g.entries[g.n]
+		g.n++
+	} else {
+		e = &g.entries[0]
+		for i := 1; i < g.n; i++ {
+			if g.entries[i].tick < e.tick {
+				e = &g.entries[i]
+			}
+		}
+	}
+	g.tick++
+	*e = gapEntry{bits: bits, tick: g.tick}
+	return e
+}
+
 // fastModel caches the ZOH-discretized update matrices per region for the
 // current gap. State y = [x, v, i]; input u = [accel, 1] (the constant
 // channel carries the end-stop offset force).
+//
+// The matrices are baked into flat row-major arrays so step is
+// straight-line float math — no method calls, no bounds checks, no
+// allocations. Rebuilds go through a per-run LRU memo (the tuning
+// transient revisits gaps) and, on a miss, a reusable discretization
+// workspace, so a miss allocates nothing after the first.
 type fastModel struct {
-	h     harvester.Params
-	rin   float64
-	dt    float64
-	gap   float64
-	ad    [3]*la.Matrix
-	bd    [3]*la.Matrix
-	built bool
+	h    harvester.Params
+	rin  float64
+	dt   float64
+	gap  float64
+	fres float64    // h.ResonantFreq(gap), cached for the drift check
+	ad   [3][9]float64
+	bd   [3][6]float64
+	memo gapMemo
+	ws   *la.ZOHWorkspace
+	a    *la.Matrix // 3×3 continuous-time scratch
+	b    *la.Matrix // 3×2 continuous-time scratch
+
+	rebuilds int // ZOH discretizations performed (memo misses)
+	memoHits int // rebuilds answered by the memo
+}
+
+func newFastModel(h harvester.Params, rin, dt float64) *fastModel {
+	return &fastModel{
+		h:   h,
+		rin: rin,
+		dt:  dt,
+		ws:  la.NewZOHWorkspace(3, 2),
+		a:   la.NewMatrix(3, 3),
+		b:   la.NewMatrix(3, 2),
+	}
 }
 
 func (m *fastModel) rebuild(gap float64) error {
 	m.gap = gap
+	m.fres = m.h.ResonantFreq(gap)
+	bits := math.Float64bits(gap)
+	if e := m.memo.lookup(bits); e != nil {
+		m.ad, m.bd = e.ad, e.bd
+		m.memoHits++
+		return nil
+	}
 	k := m.h.EffectiveStiffness(gap)
 	l := m.h.CoilL
 	if l <= 0 {
 		l = 1e-3 // tiny-but-finite inductance keeps the 3-state form uniform
 	}
 	rTot := m.h.CoilR + m.rin
-	build := func(kEff, fOff float64) (*la.Matrix, *la.Matrix, error) {
-		a := la.NewMatrixFrom(3, 3, []float64{
-			0, 1, 0,
-			-kEff / m.h.Mass, -m.h.DampingC / m.h.Mass, -m.h.Gamma / m.h.Mass,
-			0, m.h.Gamma / l, -rTot / l,
-		})
-		b := la.NewMatrixFrom(3, 2, []float64{
-			0, 0,
-			-1, fOff / m.h.Mass,
-			0, 0,
-		})
-		return la.DiscretizeZOH(a, b, m.dt)
+	build := func(r region, kEff, fOff float64) error {
+		av := m.a.Data()
+		av[0], av[1], av[2] = 0, 1, 0
+		av[3], av[4], av[5] = -kEff/m.h.Mass, -m.h.DampingC/m.h.Mass, -m.h.Gamma/m.h.Mass
+		av[6], av[7], av[8] = 0, m.h.Gamma/l, -rTot/l
+		bv := m.b.Data()
+		bv[0], bv[1] = 0, 0
+		bv[2], bv[3] = -1, fOff/m.h.Mass
+		bv[4], bv[5] = 0, 0
+		ad, bd, err := m.ws.Discretize(m.a, m.b, m.dt)
+		if err != nil {
+			return err
+		}
+		copy(m.ad[r][:], ad.Data())
+		copy(m.bd[r][:], bd.Data())
+		return nil
 	}
-	var err error
-	if m.ad[regionFree], m.bd[regionFree], err = build(k, 0); err != nil {
+	if err := build(regionFree, k, 0); err != nil {
 		return err
 	}
 	// In contact: stop spring adds stiffness and a constant restoring
 	// offset ±StopK·MaxDisp.
-	if m.ad[regionUpper], m.bd[regionUpper], err = build(k+m.h.StopK, m.h.StopK*m.h.MaxDisp); err != nil {
+	if err := build(regionUpper, k+m.h.StopK, m.h.StopK*m.h.MaxDisp); err != nil {
 		return err
 	}
-	if m.ad[regionLower], m.bd[regionLower], err = build(k+m.h.StopK, -m.h.StopK*m.h.MaxDisp); err != nil {
+	if err := build(regionLower, k+m.h.StopK, -m.h.StopK*m.h.MaxDisp); err != nil {
 		return err
 	}
-	m.built = true
+	m.rebuilds++
+	e := m.memo.slot(bits)
+	e.ad, e.bd = m.ad, m.bd
 	return nil
 }
 
-// step performs one explicit linearized update: y ← Ad·y + Bd·u.
-func (m *fastModel) step(y []float64, accel float64) {
-	r := regionOf(y[0], m.h.MaxDisp)
-	ad, bd := m.ad[r], m.bd[r]
-	var out [3]float64
-	for i := 0; i < 3; i++ {
-		out[i] = ad.At(i, 0)*y[0] + ad.At(i, 1)*y[1] + ad.At(i, 2)*y[2] +
-			bd.At(i, 0)*accel + bd.At(i, 1)
+// step performs one explicit linearized update: y ← Ad·y + Bd·u. The body
+// is straight-line float math over the baked arrays: zero method calls,
+// zero bounds checks, zero allocations.
+func (m *fastModel) step(y *[3]float64, accel float64) {
+	ad, bd := &m.ad[regionFree], &m.bd[regionFree]
+	if x := y[0]; x > m.h.MaxDisp {
+		ad, bd = &m.ad[regionUpper], &m.bd[regionUpper]
+	} else if x < -m.h.MaxDisp {
+		ad, bd = &m.ad[regionLower], &m.bd[regionLower]
 	}
-	y[0], y[1], y[2] = out[0], out[1], out[2]
+	y0, y1, y2 := y[0], y[1], y[2]
+	o0 := ad[0]*y0 + ad[1]*y1 + ad[2]*y2 + bd[0]*accel + bd[1]
+	o1 := ad[3]*y0 + ad[4]*y1 + ad[5]*y2 + bd[2]*accel + bd[3]
+	o2 := ad[6]*y0 + ad[7]*y1 + ad[8]*y2 + bd[4]*accel + bd[5]
+	y[0], y[1], y[2] = o0, o1, o2
 }
 
 // RunFast simulates the design with the explicit linearized state-space
@@ -396,7 +524,7 @@ func RunFast(d Design, cfg Config) (*Result, error) {
 	res := &Result{}
 	rec := &recorder{cfg: cfg, d: d, res: res}
 
-	model := &fastModel{h: d.Harv, rin: d.Mult.InputR, dt: cfg.DtSlow}
+	model := newFastModel(d.Harv, d.Mult.InputR, cfg.DtSlow)
 	if err := model.rebuild(slow.gap); err != nil {
 		return nil, err
 	}
@@ -404,24 +532,40 @@ func RunFast(d Design, cfg Config) (*Result, error) {
 	// matrix rebuild (Hz).
 	const rebuildTolHz = 0.05
 
-	y := []float64{0, 0, 0} // x, v, i
+	var y [3]float64 // x, v, i
 	nSteps := int(math.Ceil(cfg.Horizon / cfg.DtSlow))
+	rec.init(nSteps)
+	// The gap only moves while the tuner's actuator does, so the drift
+	// check memoizes the resonance of the last gap it saw (and model.fres
+	// caches the resonance at the matrices' own gap). Without a tuner the
+	// gap is constant and the check is skipped outright — either way the
+	// comparison sees exactly the values the unmemoized form would.
+	tunerOn := slow.ctrl != nil
+	gamma := d.Harv.Gamma // EMF(v) = Gamma·v, inlined for the hot loop
+	lastGap, lastFres := slow.gap, model.fres
 	for k := 0; k < nSteps; k++ {
 		t := float64(k) * cfg.DtSlow
 		// Midpoint sampling of the excitation halves the ZOH phase error.
 		accel := cfg.Source.Accel(t + cfg.DtSlow/2)
-		model.step(y, accel)
-		res.Steps++
+		model.step(&y, accel)
 
-		emf := d.Harv.EMF(y[1])
+		emf := gamma * y[1]
 		gap := slow.step(cfg.DtSlow, emf, cfg.Source.DominantFreq(t))
-		if math.Abs(d.Harv.ResonantFreq(gap)-d.Harv.ResonantFreq(model.gap)) > rebuildTolHz {
-			if err := model.rebuild(gap); err != nil {
-				return nil, err
+		if tunerOn {
+			if gap != lastGap {
+				lastGap, lastFres = gap, d.Harv.ResonantFreq(gap)
+			}
+			if math.Abs(lastFres-model.fres) > rebuildTolHz {
+				if err := model.rebuild(gap); err != nil {
+					return nil, err
+				}
 			}
 		}
 		rec.record(t+cfg.DtSlow, slow.vs, y[0], emf, gap)
 	}
+	res.Steps = nSteps
+	res.Rebuilds = model.rebuilds
+	res.RebuildHits = model.memoHits
 	slow.finish(res, cfg.Horizon)
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -463,6 +607,7 @@ func RunReference(d Design, cfg Config) (*Result, error) {
 	y := []float64{0, 0, 0}
 	icfg := ode.ImplicitConfig{}
 	nSteps := int(math.Ceil(cfg.Horizon / cfg.DtSlow))
+	rec.init(nSteps)
 	for k := 0; k < nSteps; k++ {
 		t := float64(k) * cfg.DtSlow
 		tBase = t

@@ -9,6 +9,9 @@ import (
 	"math"
 	"reflect"
 	"sort"
+	"sync"
+
+	"repro/internal/sim"
 )
 
 // maxHashDepth bounds the reflection walk. Every design/config in this
@@ -16,117 +19,210 @@ import (
 // certainly cyclic and must not hang the hasher.
 const maxHashDepth = 64
 
+// hasher bundles a SHA-256 digest with the scratch buffers the walk needs,
+// so a pooled hasher fingerprints a request without allocating: integers go
+// through a fixed 8-byte buffer, strings through a reusable copy buffer
+// (hash.Hash wants []byte), and the final sum lands in a fixed array.
+type hasher struct {
+	digest  hash.Hash
+	buf8    [8]byte
+	sum     [sha256.Size]byte
+	scratch []byte
+}
+
+var hasherPool = sync.Pool{New: func() any {
+	return &hasher{digest: sha256.New(), scratch: make([]byte, 0, 64)}
+}}
+
+func (h *hasher) reset() { h.digest.Reset() }
+
+func (h *hasher) writeUint64(x uint64) {
+	binary.LittleEndian.PutUint64(h.buf8[:], x)
+	h.digest.Write(h.buf8[:])
+}
+
+// writeString writes a length-prefixed string so adjacent fields cannot run
+// together into an ambiguous byte stream.
+func (h *hasher) writeString(s string) {
+	h.writeUint64(uint64(len(s)))
+	h.scratch = append(h.scratch[:0], s...)
+	h.digest.Write(h.scratch)
+}
+
+// fieldNames caches struct field names per type: reflect's Field(i) builds
+// a fresh StructField (and its Index slice) on every call, which would be
+// the only steady-state allocation left in the walk.
+var fieldNames sync.Map // reflect.Type → []string
+
+func namesOf(t reflect.Type) []string {
+	if v, ok := fieldNames.Load(t); ok {
+		return v.([]string)
+	}
+	names := make([]string, t.NumField())
+	for i := range names {
+		names[i] = t.Field(i).Name
+	}
+	v, _ := fieldNames.LoadOrStore(t, names)
+	return v.([]string)
+}
+
 // Fingerprint returns a stable hex digest of the values' deep contents —
 // the cache key of a simulation request. The walk covers unexported fields
 // (vibration sources keep their pre-generated lattices private), tags
 // every interface value with its concrete type (two policies with equal
 // fields but different types must never alias), dereferences pointers so
-// independently built but structurally identical inputs share a digest,
-// and encodes floats bit-exactly. Kinds that cannot be introspected
-// deterministically — funcs, channels, unsafe pointers — yield an error;
-// callers treat that as "uncacheable" and run the simulation directly.
+// independently built but structurally identical inputs share a digest —
+// a non-nil pointer hashes exactly as its pointee, so passing a value or a
+// pointer to it yields the same key — and encodes floats bit-exactly.
+// Kinds that cannot be introspected deterministically — funcs, channels,
+// unsafe pointers — yield an error; callers treat that as "uncacheable"
+// and run the simulation directly.
 func Fingerprint(vals ...any) (string, error) {
-	h := sha256.New()
+	h := hasherPool.Get().(*hasher)
+	h.reset()
 	for _, v := range vals {
-		if err := hashValue(h, reflect.ValueOf(v), 0); err != nil {
+		if err := h.value(reflect.ValueOf(v), 0); err != nil {
+			hasherPool.Put(h)
 			return "", err
 		}
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	key := hex.EncodeToString(h.digest.Sum(h.sum[:0]))
+	hasherPool.Put(h)
+	return key, nil
 }
 
-func hashValue(h hash.Hash, v reflect.Value, depth int) error {
+// appendKey is the allocation-free fingerprint of a simulation request: it
+// appends the hex digest of (engine, *d, *cfg) to dst and returns it. The
+// byte stream is identical to Fingerprint(engine, d, cfg) — the string is
+// hand-encoded exactly as the reflective walk would, and non-nil pointers
+// hash as their pointee — so both paths address the same cache entries.
+func appendKey(dst []byte, engine string, d *sim.Design, cfg *sim.Config) ([]byte, error) {
+	h := hasherPool.Get().(*hasher)
+	h.reset()
+	h.writeString("string")
+	h.writeString(engine)
+	if err := h.value(reflect.ValueOf(d), 0); err != nil {
+		hasherPool.Put(h)
+		return dst, err
+	}
+	if err := h.value(reflect.ValueOf(cfg), 0); err != nil {
+		hasherPool.Put(h)
+		return dst, err
+	}
+	dst = appendHex(dst, h.digest.Sum(h.sum[:0]))
+	hasherPool.Put(h)
+	return dst, nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex is hex.Encode into an appended buffer; the stdlib grew an
+// AppendEncode only recently, and a hand-rolled loop keeps the fast path
+// independent of the toolchain version.
+func appendHex(dst, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	return dst
+}
+
+func (h *hasher) value(v reflect.Value, depth int) error {
 	if depth > maxHashDepth {
 		return fmt.Errorf("simcache: value nests deeper than %d levels (cyclic?)", maxHashDepth)
 	}
 	if !v.IsValid() {
-		writeString(h, "<nil>")
+		h.writeString("<nil>")
 		return nil
 	}
 	t := v.Type()
-	writeString(h, t.String())
+	// A non-nil pointer is hashed purely as its pointee — no type tag — so
+	// Fingerprint(v) and Fingerprint(&v) share a digest and the pooled key
+	// path can hash through pointers into its scratch copies.
+	if v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			h.writeString(t.String())
+			h.writeString("<nil>")
+			return nil
+		}
+		return h.value(v.Elem(), depth+1)
+	}
+	h.writeString(t.String())
 	switch v.Kind() {
 	case reflect.Bool:
 		if v.Bool() {
-			writeUint64(h, 1)
+			h.writeUint64(1)
 		} else {
-			writeUint64(h, 0)
+			h.writeUint64(0)
 		}
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		writeUint64(h, uint64(v.Int()))
+		h.writeUint64(uint64(v.Int()))
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		writeUint64(h, v.Uint())
+		h.writeUint64(v.Uint())
 	case reflect.Float32, reflect.Float64:
-		writeUint64(h, math.Float64bits(v.Float()))
+		h.writeUint64(math.Float64bits(v.Float()))
 	case reflect.Complex64, reflect.Complex128:
 		c := v.Complex()
-		writeUint64(h, math.Float64bits(real(c)))
-		writeUint64(h, math.Float64bits(imag(c)))
+		h.writeUint64(math.Float64bits(real(c)))
+		h.writeUint64(math.Float64bits(imag(c)))
 	case reflect.String:
-		writeString(h, v.String())
-	case reflect.Pointer, reflect.Interface:
+		h.writeString(v.String())
+	case reflect.Interface:
 		if v.IsNil() {
-			writeString(h, "<nil>")
+			h.writeString("<nil>")
 			return nil
 		}
-		return hashValue(h, v.Elem(), depth+1)
+		return h.value(v.Elem(), depth+1)
 	case reflect.Slice, reflect.Array:
 		if v.Kind() == reflect.Slice && v.IsNil() {
-			writeString(h, "<nil>")
+			h.writeString("<nil>")
 			return nil
 		}
 		n := v.Len()
-		writeUint64(h, uint64(n))
+		h.writeUint64(uint64(n))
 		for i := 0; i < n; i++ {
-			if err := hashValue(h, v.Index(i), depth+1); err != nil {
+			if err := h.value(v.Index(i), depth+1); err != nil {
 				return err
 			}
 		}
 	case reflect.Struct:
-		for i := 0; i < t.NumField(); i++ {
-			writeString(h, t.Field(i).Name)
-			if err := hashValue(h, v.Field(i), depth+1); err != nil {
+		names := namesOf(t)
+		for i, name := range names {
+			h.writeString(name)
+			if err := h.value(v.Field(i), depth+1); err != nil {
 				return err
 			}
 		}
 	case reflect.Map:
 		if v.IsNil() {
-			writeString(h, "<nil>")
+			h.writeString("<nil>")
 			return nil
 		}
 		// Iteration order is random: hash each entry on its own and fold
-		// the sorted digests in, so equal maps hash equal.
+		// the sorted digests in, so equal maps hash equal. This path
+		// allocates; no simulation request carries a map today.
 		digests := make([]string, 0, v.Len())
 		iter := v.MapRange()
 		for iter.Next() {
-			sub := sha256.New()
-			if err := hashValue(sub, iter.Key(), depth+1); err != nil {
+			sub := hasherPool.Get().(*hasher)
+			sub.reset()
+			if err := sub.value(iter.Key(), depth+1); err != nil {
+				hasherPool.Put(sub)
 				return err
 			}
-			if err := hashValue(sub, iter.Value(), depth+1); err != nil {
+			if err := sub.value(iter.Value(), depth+1); err != nil {
+				hasherPool.Put(sub)
 				return err
 			}
-			digests = append(digests, string(sub.Sum(nil)))
+			digests = append(digests, string(sub.digest.Sum(sub.sum[:0])))
+			hasherPool.Put(sub)
 		}
 		sort.Strings(digests)
 		for _, d := range digests {
-			h.Write([]byte(d))
+			h.scratch = append(h.scratch[:0], d...)
+			h.digest.Write(h.scratch)
 		}
 	default: // Func, Chan, UnsafePointer
 		return fmt.Errorf("simcache: cannot fingerprint a %s", v.Kind())
 	}
 	return nil
-}
-
-// writeString writes a length-prefixed string so adjacent fields cannot
-// run together into an ambiguous byte stream.
-func writeString(h hash.Hash, s string) {
-	writeUint64(h, uint64(len(s)))
-	h.Write([]byte(s))
-}
-
-func writeUint64(h hash.Hash, x uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], x)
-	h.Write(b[:])
 }

@@ -114,14 +114,45 @@ func (c *Cache) Stats() Stats {
 	return st
 }
 
+// keyScratch is the pooled working set of one Run call's key computation:
+// private copies of the design and config (so the reflective walk hashes
+// through pointers into pool-owned memory rather than forcing the caller's
+// arguments to escape) plus the reusable hex-key buffer.
+type keyScratch struct {
+	d   sim.Design
+	cfg sim.Config
+	key []byte
+}
+
+var keyScratchPool = sync.Pool{New: func() any {
+	return &keyScratch{key: make([]byte, 0, 2*32)}
+}}
+
+// release clears the design/config copies — they carry pointers (vibration
+// lattices, tuner config) the pool must not pin — and returns ks.
+func (ks *keyScratch) release() {
+	ks.d = sim.Design{}
+	ks.cfg = sim.Config{}
+	keyScratchPool.Put(ks)
+}
+
 // Run implements Runner. Resolution order: in-memory hit → join an
 // identical in-flight run → disk hit → execute. Errors are never cached.
 // Cache decisions are logged at debug level through the context's logger
 // (obs.FromContext), so one trace ID correlates a request with every
 // simulation it hit, missed or coalesced.
+//
+// The cache-hit path computes the key without allocating: the fingerprint
+// runs through a pooled hasher into a pooled buffer, and the map lookups
+// index with string(raw), which Go evaluates without materializing the
+// string. The key is only committed to a string when this call becomes the
+// leader for a miss.
 func (c *Cache) Run(ctx context.Context, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
 	lg := obs.FromContext(ctx)
-	key, err := Fingerprint(engine, d, cfg)
+	ks := keyScratchPool.Get().(*keyScratch)
+	defer ks.release()
+	ks.d, ks.cfg = d, cfg
+	raw, err := appendKey(ks.key[:0], engine, &ks.d, &ks.cfg)
 	if err != nil {
 		c.mu.Lock()
 		c.stats.Bypass++
@@ -129,30 +160,32 @@ func (c *Cache) Run(ctx context.Context, engine string, fn Engine, d sim.Design,
 		lg.Debug("simcache bypass", "engine", engine, "reason", err.Error())
 		return fn(d, cfg)
 	}
+	ks.key = raw[:0] // keep any growth for the next pooled use
 
 	for {
 		c.mu.Lock()
-		if el, ok := c.items[key]; ok {
+		if el, ok := c.items[string(raw)]; ok {
 			c.lru.MoveToFront(el)
 			c.stats.Hits++
-			res := el.Value.(*entry).res
+			en := el.Value.(*entry)
 			c.mu.Unlock()
-			lg.Debug("simcache hit", "key", short(key))
-			return res, nil
+			lg.Debug("simcache hit", "key", short(en.key))
+			return en.res, nil
 		}
-		if fl, ok := c.flight[key]; ok {
+		if fl, ok := c.flight[string(raw)]; ok {
 			c.stats.DedupHits++
 			c.mu.Unlock()
-			lg.Debug("simcache coalesced", "key", short(key))
+			lg.Debug("simcache coalesced", "key", short(string(raw)))
 			<-fl.done
 			if fl.err == nil {
 				return fl.res, nil
 			}
 			// The leader failed; retry as a fresh request rather than
 			// propagating someone else's (possibly transient) error.
-			lg.Debug("simcache leader failed, retrying", "key", short(key))
+			lg.Debug("simcache leader failed, retrying")
 			continue
 		}
+		key := string(raw)
 		fl := &call{done: make(chan struct{})}
 		c.flight[key] = fl
 		c.mu.Unlock()
