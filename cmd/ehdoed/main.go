@@ -18,9 +18,15 @@
 //	POST   /v1/sweep             1-D sweep of one response over one factor
 //	POST   /v1/optimize          Nelder–Mead optimum on the surface
 //	POST   /v1/validate          confirming simulations vs surface predictions
-//	POST   /v1/build             enqueue an async DoE build job
+//	POST   /v1/build             enqueue an async DoE build job ("pool": "cluster" shards it across the worker fleet)
 //	GET    /v1/jobs              all jobs
 //	GET    /v1/jobs/{id}         one job's status
+//	POST   /v1/cluster/register  worker fleet: join (simnode -serve dials these)
+//	POST   /v1/cluster/heartbeat worker fleet: liveness
+//	POST   /v1/cluster/lease     worker fleet: pull design points
+//	POST   /v1/cluster/results   worker fleet: report a finished lease
+//	POST   /v1/cluster/deregister worker fleet: clean goodbye
+//	GET    /v1/cluster/workers   worker fleet health view
 //
 // Observability: every request gets (or keeps) an X-Request-ID; the same
 // ID threads the access log, build-job transitions and simulation-run
@@ -44,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -67,6 +74,9 @@ func main() {
 	runTimeout := flag.Duration("run-timeout", 0, "per-simulation-run deadline within a build (0 = unbounded)")
 	runRetries := flag.Int("run-retries", 2, "max retries per design run after transient simulation faults")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+	clusterHeartbeat := flag.Duration("cluster-heartbeat", 2*time.Second, "worker-fleet heartbeat interval advertised to simnode workers")
+	clusterLeaseTimeout := flag.Duration("cluster-lease-timeout", 60*time.Second, "worker-fleet lease age past which slow leases are stolen")
+	clusterLeasePoints := flag.Int("cluster-lease-points", 4, "max design points per worker-fleet lease")
 	faultCfg := fault.FlagConfig(flag.CommandLine)
 	flag.Parse()
 
@@ -111,6 +121,11 @@ func main() {
 		Logger:      logger,
 		EnablePprof: *pprof,
 		JobTimeout:  *jobTimeout,
+		Cluster: cluster.Config{
+			HeartbeatInterval: *clusterHeartbeat,
+			LeaseTimeout:      *clusterLeaseTimeout,
+			LeasePoints:       *clusterLeasePoints,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ehdoed: %v\n", err)

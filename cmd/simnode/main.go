@@ -7,14 +7,25 @@
 //
 //	simnode [-horizon 60] [-engine fast|ref] [-freq 45] [-amp 0.6]
 //	        [-period 10] [-cap 0.055] [-vth 3.1] [-tuned] [-waveform file.csv]
+//	        [-replay trace.csv]
+//
+// With -serve the process becomes a fleet worker daemon instead: it joins
+// an ehdoed coordinator, heartbeats, pulls design-point leases and streams
+// results back until a signal or the coordinator's drain stops it:
+//
+//	simnode -serve -coordinator http://localhost:8080 [-id w-1]
+//	        [-concurrency 8] [-cache-dir ./cache] [-fault-kill 0.01]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/node"
 	"repro/internal/report"
@@ -24,7 +35,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	for i, a := range args {
+		if a == "-serve" || a == "--serve" {
+			rest := append(append([]string{}, args[:i]...), args[i+1:]...)
+			ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+			err := runWorker(ctx, rest, os.Stdout)
+			stop()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simnode: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	if err := run(args, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "simnode: %v\n", err)
 		os.Exit(1)
 	}
@@ -43,6 +68,7 @@ func run(args []string, w io.Writer) error {
 	v0 := fs.Float64("v0", 3.3, "initial store voltage (V)")
 	tuned := fs.Bool("tuned", false, "enable the resonance-tuning controller")
 	waveform := fs.String("waveform", "", "write decimated waveforms as CSV to this file")
+	replay := fs.String("replay", "", "replay a recorded excitation trace (CSV: t_s,accel) instead of the sine source")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,9 +84,20 @@ func run(args []string, w io.Writer) error {
 		tc.ActuatorSpeed = 0.5e-3
 		d.Tuner = &tc
 	}
+	var source vibration.Source = vibration.Sine{Amplitude: *amp, Freq: *freq}
+	excitation := fmt.Sprintf("%.1f Hz / %.2f m/s²", *freq, *amp)
+	if *replay != "" {
+		ts, accel, err := readWaveformCSV(*replay)
+		if err != nil {
+			return err
+		}
+		rs := newReplaySource(ts, accel)
+		source = rs
+		excitation = fmt.Sprintf("replay %s (%d samples, ~%.1f Hz)", *replay, len(ts), rs.freq)
+	}
 	cfg := sim.Config{
 		Horizon:         *horizon,
-		Source:          vibration.Sine{Amplitude: *amp, Freq: *freq},
+		Source:          source,
 		RecordWaveforms: *waveform != "",
 		Decimate:        100,
 	}
@@ -75,7 +112,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	t := report.NewTable(fmt.Sprintf("simnode: %s engine, %.0f s at %.1f Hz / %.2f m/s²", *engine, *horizon, *freq, *amp),
+	t := report.NewTable(fmt.Sprintf("simnode: %s engine, %.0f s at %s", *engine, *horizon, excitation),
 		"indicator", "value", "unit")
 	t.AddRow("avg harvested power", r.AvgHarvestedPower*1e6, "µW")
 	t.AddRow("harvested energy", r.HarvestedEnergy*1e3, "mJ")

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/vibration"
+)
+
+// CSVError is the typed failure for waveform CSV parsing: it names the
+// file and the 1-based line the problem sits on (0 means the file as a
+// whole, e.g. an empty file), so a bad row in a long recorded trace is
+// findable without bisecting the file.
+type CSVError struct {
+	Path string
+	Line int
+	Msg  string
+}
+
+func (e *CSVError) Error() string {
+	if e.Line == 0 {
+		return fmt.Sprintf("waveform csv %s: %s", e.Path, e.Msg)
+	}
+	return fmt.Sprintf("waveform csv %s: line %d: %s", e.Path, e.Line, e.Msg)
+}
+
+// readWaveformCSV parses a recorded excitation trace: a header line
+// followed by rows of "t_s,accel[,...]" — the first column is time in
+// seconds (strictly increasing), the second acceleration in m/s²; extra
+// columns are ignored so files written by -waveform round-trip. Every
+// failure is a *CSVError carrying the offending line number.
+func readWaveformCSV(path string) (ts, accel []float64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	text := strings.TrimRight(string(raw), "\n")
+	if strings.TrimSpace(text) == "" {
+		return nil, nil, &CSVError{Path: path, Msg: "empty file"}
+	}
+	lines := strings.Split(text, "\n")
+	if len(lines) < 2 {
+		return nil, nil, &CSVError{Path: path, Msg: "no data rows after the header"}
+	}
+	if fields := strings.Split(lines[0], ","); len(fields) < 2 {
+		return nil, nil, &CSVError{Path: path, Line: 1,
+			Msg: fmt.Sprintf("header has %d column(s), want at least t_s,accel", len(fields))}
+	}
+	ts = make([]float64, 0, len(lines)-1)
+	accel = make([]float64, 0, len(lines)-1)
+	for i, line := range lines[1:] {
+		n := i + 2 // 1-based, after the header
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, nil, &CSVError{Path: path, Line: n,
+				Msg: fmt.Sprintf("row has %d column(s), want at least 2", len(fields))}
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, nil, &CSVError{Path: path, Line: n,
+				Msg: fmt.Sprintf("bad time %q", strings.TrimSpace(fields[0]))}
+		}
+		a, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, nil, &CSVError{Path: path, Line: n,
+				Msg: fmt.Sprintf("bad value %q", strings.TrimSpace(fields[1]))}
+		}
+		if math.IsNaN(t) || math.IsNaN(a) || math.IsInf(t, 0) || math.IsInf(a, 0) {
+			return nil, nil, &CSVError{Path: path, Line: n, Msg: "non-finite sample"}
+		}
+		if len(ts) > 0 && t <= ts[len(ts)-1] {
+			return nil, nil, &CSVError{Path: path, Line: n,
+				Msg: fmt.Sprintf("time %g does not increase past %g", t, ts[len(ts)-1])}
+		}
+		ts = append(ts, t)
+		accel = append(accel, a)
+	}
+	if len(ts) < 2 {
+		return nil, nil, &CSVError{Path: path, Msg: "need at least 2 samples to replay"}
+	}
+	return ts, accel, nil
+}
+
+// replaySource drives the simulation from a recorded trace: linear
+// interpolation between samples, endpoints held outside the record. The
+// dominant frequency is estimated once from the mean zero-crossing rate —
+// good enough for the tuner's ground-truth hook on real traces.
+type replaySource struct {
+	ts, accel []float64
+	freq      float64
+}
+
+func newReplaySource(ts, accel []float64) *replaySource {
+	crossings := 0
+	for i := 1; i < len(accel); i++ {
+		if (accel[i-1] < 0) != (accel[i] < 0) {
+			crossings++
+		}
+	}
+	freq := 0.0
+	if span := ts[len(ts)-1] - ts[0]; span > 0 {
+		freq = float64(crossings) / (2 * span)
+	}
+	return &replaySource{ts: ts, accel: accel, freq: freq}
+}
+
+func (r *replaySource) Accel(t float64) float64 {
+	ts := r.ts
+	if t <= ts[0] {
+		return r.accel[0]
+	}
+	if t >= ts[len(ts)-1] {
+		return r.accel[len(ts)-1]
+	}
+	// Binary search for the bracketing segment.
+	lo, hi := 0, len(ts)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ts[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := (t - ts[lo]) / (ts[hi] - ts[lo])
+	return r.accel[lo] + frac*(r.accel[hi]-r.accel[lo])
+}
+
+func (r *replaySource) DominantFreq(t float64) float64 { return r.freq }
+
+var _ vibration.Source = (*replaySource)(nil)

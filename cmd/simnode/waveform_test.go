@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// wantCSVError asserts err is a *CSVError anchored to the given line and
+// mentioning the fragment.
+func wantCSVError(t *testing.T, err error, line int, fragment string) {
+	t.Helper()
+	var ce *CSVError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v (%T), want *CSVError", err, err)
+	}
+	if ce.Line != line {
+		t.Fatalf("error anchored to line %d, want %d: %v", ce.Line, line, ce)
+	}
+	if !strings.Contains(ce.Error(), fragment) {
+		t.Fatalf("error %q misses %q", ce.Error(), fragment)
+	}
+}
+
+func TestReadWaveformCSV(t *testing.T) {
+	path := writeTrace(t, "t_s,accel\n0,0.1\n0.5,-0.2\n1.0,0.3\n")
+	ts, accel, err := readWaveformCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[2] != 1.0 || accel[1] != -0.2 {
+		t.Fatalf("parsed %v / %v", ts, accel)
+	}
+}
+
+func TestReadWaveformCSVEmptyFile(t *testing.T) {
+	_, _, err := readWaveformCSV(writeTrace(t, ""))
+	wantCSVError(t, err, 0, "empty file")
+}
+
+func TestReadWaveformCSVHeaderOnly(t *testing.T) {
+	_, _, err := readWaveformCSV(writeTrace(t, "t_s,accel\n"))
+	wantCSVError(t, err, 0, "no data rows")
+}
+
+func TestReadWaveformCSVMalformedValue(t *testing.T) {
+	_, _, err := readWaveformCSV(writeTrace(t, "t_s,accel\n0,0.1\n0.5,oops\n"))
+	wantCSVError(t, err, 3, `bad value "oops"`)
+}
+
+func TestReadWaveformCSVMalformedTime(t *testing.T) {
+	_, _, err := readWaveformCSV(writeTrace(t, "t_s,accel\nzero,0.1\n"))
+	wantCSVError(t, err, 2, `bad time "zero"`)
+}
+
+func TestReadWaveformCSVMissingColumn(t *testing.T) {
+	_, _, err := readWaveformCSV(writeTrace(t, "t_s,accel\n0,0.1\n0.5\n"))
+	wantCSVError(t, err, 3, "want at least 2")
+}
+
+func TestReadWaveformCSVNonIncreasingTime(t *testing.T) {
+	_, _, err := readWaveformCSV(writeTrace(t, "t_s,accel\n0,0.1\n0.5,0.2\n0.5,0.3\n"))
+	wantCSVError(t, err, 4, "does not increase")
+}
+
+func TestReadWaveformCSVNonFinite(t *testing.T) {
+	_, _, err := readWaveformCSV(writeTrace(t, "t_s,accel\n0,NaN\n"))
+	wantCSVError(t, err, 2, "non-finite")
+}
+
+func TestReplaySourceInterpolates(t *testing.T) {
+	src := newReplaySource([]float64{0, 1, 2}, []float64{0, 2, 0})
+	for _, tc := range []struct{ t, want float64 }{
+		{-1, 0},   // held before the record
+		{0.5, 1},  // midpoint of the first segment
+		{1, 2},    // exact sample
+		{1.75, 0.5},
+		{5, 0}, // held past the record
+	} {
+		if got := src.Accel(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Accel(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestReplaySourceDominantFreq(t *testing.T) {
+	// One full 1 Hz cycle sampled at 8 points per period: 2 zero crossings
+	// per cycle.
+	n := 64
+	ts := make([]float64, n)
+	accel := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i) / 8
+		accel[i] = math.Sin(2 * math.Pi * ts[i])
+	}
+	src := newReplaySource(ts, accel)
+	if math.Abs(src.DominantFreq(0)-1) > 0.15 {
+		t.Fatalf("estimated %g Hz, want ~1", src.DominantFreq(0))
+	}
+}
+
+// TestRunReplayEndToEnd drives a whole simulation off a synthesized
+// 45 Hz trace through the -replay flag.
+func TestRunReplayEndToEnd(t *testing.T) {
+	var trace strings.Builder
+	trace.WriteString("t_s,accel\n")
+	for i := 0; i < 400; i++ {
+		ts := float64(i) * 0.005
+		trace.WriteString(strconv.FormatFloat(ts, 'g', -1, 64) + "," +
+			strconv.FormatFloat(0.6*math.Sin(2*math.Pi*45*ts), 'g', -1, 64) + "\n")
+	}
+	path := writeTrace(t, trace.String())
+
+	var buf bytes.Buffer
+	if err := run([]string{"-horizon", "2", "-replay", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "replay") {
+		t.Fatalf("report must name the replayed trace:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,233 @@
+// Package cluster is the distributed build fabric: it shards the design
+// points of one DoE build across a fleet of simnode workers over a small
+// pull-based HTTP/JSON protocol.
+//
+// The coordinator (embedded in ehdoed, see internal/serve) owns the only
+// authoritative state: which workers exist, which points each outstanding
+// lease covers, and which points already produced a row. Workers are
+// stateless pullers — they register, heartbeat, lease a batch of coded
+// design points, run them through their local simcache.Runner chain, and
+// stream the results back. Every fault the fabric adds on top of a local
+// run maps onto the repo's existing typed-error semantics:
+//
+//   - A worker that stops heartbeating is declared lost; its leased points
+//     are re-enqueued under a *WorkerLostError (Transient() == true), so
+//     whole-worker loss retries exactly like a transient per-run fault.
+//   - A lease that outlives the lease timeout is stolen: its unfinished
+//     points are re-enqueued for other workers while late results stay
+//     acceptable — the first result for a point wins, so stealing can only
+//     add capacity, never change values.
+//   - A worker whose reported failures hit the consecutive-failure limit
+//     is circuit-broken (evicted); it may rejoin by re-registering, which
+//     issues a fresh epoch.
+//   - Re-registration under the same worker ID (a restarted or partitioned
+//     twin — the split-brain case) supersedes the old incarnation: the old
+//     epoch's leases are re-enqueued and its requests answer Gone, so at
+//     most one incarnation can return results.
+//
+// Determinism: the simulator is deterministic and design points are
+// distributed verbatim (encoding/json round-trips float64 exactly), so a
+// fleet build assembles a Dataset bit-identical to a local
+// RunDesignContext run — regardless of worker count, lease interleaving,
+// or mid-build worker loss.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Protocol paths served by Coordinator.Handler and internal/serve, and
+// dialed by Client.
+const (
+	PathRegister   = "/v1/cluster/register"
+	PathHeartbeat  = "/v1/cluster/heartbeat"
+	PathLease      = "/v1/cluster/lease"
+	PathResults    = "/v1/cluster/results"
+	PathDeregister = "/v1/cluster/deregister"
+	PathWorkers    = "/v1/cluster/workers"
+)
+
+// RegisterRequest announces a worker to the coordinator. Re-registering an
+// ID that is already known supersedes the previous incarnation (its leases
+// are re-enqueued and its epoch invalidated).
+type RegisterRequest struct {
+	// Worker is the fleet-unique worker ID.
+	Worker string `json:"worker"`
+	// Capacity is the worker's concurrent point capacity (informational).
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	// Epoch identifies this incarnation of the worker; every subsequent
+	// request must echo it. A Gone answer means the epoch was superseded
+	// or evicted — re-register to obtain a fresh one.
+	Epoch string `json:"epoch"`
+	// HeartbeatS is the heartbeat interval the coordinator expects (s).
+	HeartbeatS float64 `json:"heartbeat_s"`
+	// PollS is the suggested idle lease-poll interval (s).
+	PollS float64 `json:"poll_s"`
+	// Draining reports that the coordinator is shutting down.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// HeartbeatRequest keeps a worker's incarnation alive.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Epoch  string `json:"epoch"`
+}
+
+// HeartbeatResponse answers a heartbeat.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+	// Gone means this (worker, epoch) is no longer valid: superseded by a
+	// re-registration, evicted, or expired. The worker must re-register.
+	Gone bool `json:"gone,omitempty"`
+	// Draining asks the worker to deregister and exit.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// LeaseRequest asks for a batch of design points to run.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Epoch  string `json:"epoch"`
+	// Max caps the number of points in the granted lease; the coordinator
+	// clamps it to its own batch limit. <=0 means the coordinator's limit.
+	Max int `json:"max,omitempty"`
+}
+
+// LeaseResponse grants at most one lease; a nil Lease means no work is
+// available right now.
+type LeaseResponse struct {
+	Lease    *LeaseView `json:"lease,omitempty"`
+	Gone     bool       `json:"gone,omitempty"`
+	Draining bool       `json:"draining,omitempty"`
+}
+
+// PointAssignment is one design point of a lease, in coded units.
+type PointAssignment struct {
+	Index int       `json:"index"`
+	Coded []float64 `json:"coded"`
+}
+
+// LeaseView is the wire form of one work lease: the problem parameters a
+// worker needs to instantiate the identical Problem locally, plus the
+// assigned points. Trace is the submitting build's trace ID, so obs log
+// lines thread coordinator → worker → simulation run.
+type LeaseView struct {
+	ID        string            `json:"id"`
+	Job       string            `json:"job"`
+	Trace     string            `json:"trace,omitempty"`
+	Excite    float64           `json:"excite"`
+	Horizon   float64           `json:"horizon_s"`
+	Responses []string          `json:"responses"`
+	Points    []PointAssignment `json:"points"`
+}
+
+// PointResult is the outcome of one leased point.
+type PointResult struct {
+	Index int `json:"index"`
+	// Values maps response IDs to simulated values; nil when Error is set.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Error is the worker-side failure, already past the worker's local
+	// retry budget. Transient reports whether it was a retryable class
+	// (core.IsTransient), which decides whether the coordinator re-enqueues
+	// the point.
+	Error     string `json:"error,omitempty"`
+	Transient bool   `json:"transient,omitempty"`
+	// ElapsedNs, Retries and Panics feed the Dataset's SimWork and
+	// fault-recovery stats.
+	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
+	Retries   int   `json:"retries,omitempty"`
+	Panics    int   `json:"panics,omitempty"`
+}
+
+// ResultsRequest streams a finished lease's results back.
+type ResultsRequest struct {
+	Worker  string        `json:"worker"`
+	Epoch   string        `json:"epoch"`
+	Lease   string        `json:"lease"`
+	Results []PointResult `json:"results"`
+}
+
+// ResultsResponse acknowledges a results upload.
+type ResultsResponse struct {
+	OK       bool `json:"ok"`
+	Gone     bool `json:"gone,omitempty"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+// DeregisterRequest removes a worker from the fleet cleanly.
+type DeregisterRequest struct {
+	Worker string `json:"worker"`
+	Epoch  string `json:"epoch"`
+}
+
+// DeregisterResponse acknowledges a deregistration.
+type DeregisterResponse struct {
+	OK bool `json:"ok"`
+}
+
+// WorkerView is the health snapshot of one fleet member, served by
+// GET /v1/cluster/workers.
+type WorkerView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"` // active | lost | evicted
+	Epoch    string `json:"epoch"`
+	Capacity int    `json:"capacity,omitempty"`
+	// InflightLeases and InflightPoints describe outstanding work.
+	InflightLeases int `json:"inflight_leases"`
+	InflightPoints int `json:"inflight_points,omitempty"`
+	// CompletedPoints, StolenLeases and FailedPoints are lifetime counts
+	// for the worker ID (across re-registrations).
+	CompletedPoints     int     `json:"completed_points"`
+	StolenLeases        int     `json:"stolen_leases,omitempty"`
+	FailedPoints        int     `json:"failed_points,omitempty"`
+	ConsecutiveFailures int     `json:"consecutive_failures,omitempty"`
+	LastHeartbeatAgoS   float64 `json:"last_heartbeat_ago_s"`
+}
+
+// WorkersResponse is the GET /v1/cluster/workers body.
+type WorkersResponse struct {
+	Workers []WorkerView `json:"workers"`
+}
+
+// WorkerLostError reports that a worker holding leased design points
+// dropped off the fleet (heartbeat timeout, abrupt connection loss, or a
+// superseding re-registration). It is transient: the lost points are
+// re-enqueued for the surviving workers, so the build retries exactly like
+// it would after a transient per-run fault. It surfaces as a build error
+// only when a point's re-enqueue budget is exhausted.
+type WorkerLostError struct {
+	Worker string
+	Reason string
+}
+
+func (e *WorkerLostError) Error() string {
+	return fmt.Sprintf("cluster: worker %s lost (%s)", e.Worker, e.Reason)
+}
+
+// Transient marks worker loss as retryable for core's typed-error
+// semantics (core.IsTransient).
+func (e *WorkerLostError) Transient() bool { return true }
+
+// ErrDraining fails in-flight fleet builds when the coordinator shuts
+// down; internal/serve classifies it as a canceled job.
+var ErrDraining = errors.New("cluster: coordinator draining")
+
+// ErrNoWorkers rejects a fleet build when no live workers are registered.
+var ErrNoWorkers = errors.New("cluster: no live workers registered")
+
+// ErrKilled is returned by Worker.Run after a chaos kill (Worker.Kill or
+// the fault injector's Kill mode) took the worker down mid-lease.
+var ErrKilled = errors.New("cluster: worker killed")
+
+// ProblemFactory instantiates the design problem a worker simulates;
+// cmd/simnode uses core.StandardProblem, tests substitute faster engines.
+// It must agree with the coordinator's problem for results to be
+// meaningful — the lease carries (excite, horizon) so both sides build the
+// identical problem.
+type ProblemFactory func(excite, horizon float64) *core.Problem

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simcache"
+)
+
+// WorkerConfig configures a fleet worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// ID is the fleet-unique worker ID; empty mints one ("w-...").
+	ID string
+	// Problem instantiates the design problem leases describe.
+	Problem ProblemFactory
+	// Runner, when set, fronts every run the worker executes — the
+	// simcache chain (cache, fault injector) identical points dedup
+	// through. Problems that wire their own Runner keep it.
+	Runner simcache.Runner
+	// Concurrency is the number of leased points run in parallel
+	// (default 1).
+	Concurrency int
+	// MaxLeasePoints caps the points requested per lease; <=0 lets the
+	// coordinator pick.
+	MaxLeasePoints int
+	// Heartbeat and Poll override the coordinator-advertised intervals
+	// when positive.
+	Heartbeat time.Duration
+	Poll      time.Duration
+	// Log receives worker lifecycle lines; nil discards them.
+	Log *slog.Logger
+}
+
+// Worker is one fleet member: it registers with the coordinator,
+// heartbeats, pulls leases, runs the points through core.RunPoint (so the
+// full retry/timeout/panic-containment semantics apply locally) and
+// streams results back. Run blocks until the context is cancelled, the
+// coordinator drains, or Kill takes the worker down.
+type Worker struct {
+	cfg    WorkerConfig
+	id     string
+	client *Client
+	log    *slog.Logger
+
+	hb   time.Duration
+	poll time.Duration
+
+	mu     sync.Mutex
+	epoch  string
+	cancel context.CancelCauseFunc
+
+	killed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewWorker builds a worker; start it with Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	if cfg.Problem == nil {
+		return nil, fmt.Errorf("cluster: worker needs a problem factory")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	id := cfg.ID
+	if id == "" {
+		id = obs.NewID("w-")
+	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = obs.Nop()
+	}
+	return &Worker{
+		cfg:    cfg,
+		id:     id,
+		client: &Client{Base: cfg.Coordinator, HTTP: cfg.HTTP},
+		log:    lg.With("worker", id),
+		hb:     cfg.Heartbeat,
+		poll:   cfg.Poll,
+	}, nil
+}
+
+// ID returns the worker's fleet ID.
+func (w *Worker) ID() string { return w.id }
+
+// Kill simulates an abrupt worker death (the chaos hook behind the fault
+// injector's Kill mode): every in-flight run is cancelled, heartbeats
+// stop, nothing is reported back, and Run returns ErrKilled. The
+// coordinator notices via heartbeat timeout and re-enqueues the leased
+// points.
+func (w *Worker) Kill() {
+	w.killed.Store(true)
+	w.mu.Lock()
+	cancel := w.cancel
+	w.mu.Unlock()
+	if cancel != nil {
+		cancel(ErrKilled)
+	}
+}
+
+func (w *Worker) setEpoch(e string) {
+	w.mu.Lock()
+	w.epoch = e
+	w.mu.Unlock()
+}
+
+func (w *Worker) getEpoch() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// Run is the worker's pull loop. It returns nil after a clean drain
+// (coordinator shutting down), ErrKilled after a chaos kill, or the
+// context's cause.
+func (w *Worker) Run(ctx context.Context) (err error) {
+	runCtx, cancel := context.WithCancelCause(ctx)
+	w.mu.Lock()
+	w.cancel = cancel
+	w.mu.Unlock()
+	defer func() {
+		cancel(nil)
+		w.wg.Wait()
+		if w.killed.Load() {
+			err = ErrKilled
+		}
+	}()
+
+	draining, err := w.register(runCtx)
+	if err != nil || draining {
+		return err
+	}
+	w.wg.Add(1)
+	go w.heartbeatLoop(runCtx)
+
+	for {
+		if runCtx.Err() != nil {
+			return context.Cause(runCtx)
+		}
+		lr, err := w.client.Lease(runCtx, LeaseRequest{
+			Worker: w.id, Epoch: w.getEpoch(), Max: w.cfg.MaxLeasePoints,
+		})
+		switch {
+		case err != nil:
+			// Coordinator unreachable: keep polling until it returns or the
+			// context ends.
+			w.log.Warn("lease poll failed", "err", err.Error())
+			if !sleepCtx(runCtx, w.poll) {
+				return context.Cause(runCtx)
+			}
+			continue
+		case lr.Draining:
+			return w.drain(ctx)
+		case lr.Gone:
+			if draining, err := w.register(runCtx); err != nil || draining {
+				return err
+			}
+			continue
+		case lr.Lease == nil:
+			if !sleepCtx(runCtx, w.poll) {
+				return context.Cause(runCtx)
+			}
+			continue
+		}
+
+		results := w.execute(runCtx, lr.Lease)
+		if w.killed.Load() {
+			return ErrKilled // a dead worker reports nothing
+		}
+		rr, err := w.client.Results(runCtx, ResultsRequest{
+			Worker: w.id, Epoch: w.getEpoch(), Lease: lr.Lease.ID, Results: results,
+		})
+		switch {
+		case err != nil:
+			// The upload was lost; the coordinator will steal the lease and
+			// re-run its points. Carry on.
+			w.log.Warn("results upload failed", "lease", lr.Lease.ID, "err", err.Error())
+		case rr.Draining:
+			return w.drain(ctx)
+		case rr.Gone:
+			if draining, err := w.register(runCtx); err != nil || draining {
+				return err
+			}
+		}
+	}
+}
+
+// register announces the worker, retrying with backoff while the
+// coordinator is unreachable. Reports draining=true when the coordinator
+// refused admission because it is shutting down.
+func (w *Worker) register(ctx context.Context) (draining bool, err error) {
+	backoff := 50 * time.Millisecond
+	for {
+		resp, err := w.client.Register(ctx, RegisterRequest{Worker: w.id, Capacity: w.cfg.Concurrency})
+		if err == nil {
+			if resp.Draining {
+				w.log.Info("coordinator draining, not joining")
+				return true, nil
+			}
+			w.setEpoch(resp.Epoch)
+			// Adopt the advertised cadence unless configured explicitly.
+			// Only the first registration can write these: the heartbeat
+			// loop (which reads them) starts after it returns.
+			if w.hb <= 0 {
+				w.hb = time.Duration(resp.HeartbeatS * float64(time.Second))
+				if w.hb <= 0 {
+					w.hb = 2 * time.Second
+				}
+			}
+			if w.poll <= 0 {
+				w.poll = time.Duration(resp.PollS * float64(time.Second))
+				if w.poll <= 0 {
+					w.poll = 200 * time.Millisecond
+				}
+			}
+			w.log.Info("worker registered", "epoch", resp.Epoch,
+				"heartbeat_ms", float64(w.hb.Microseconds())/1e3)
+			return false, nil
+		}
+		w.log.Warn("register failed, retrying", "err", err.Error())
+		if !sleepCtx(ctx, backoff) {
+			return false, context.Cause(ctx)
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// heartbeatLoop keeps the incarnation alive. Gone/Draining answers are
+// acted on by the main loop at its next lease call; the heartbeat only
+// maintains liveness.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	defer w.wg.Done()
+	t := time.NewTicker(w.hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := w.client.Heartbeat(ctx, HeartbeatRequest{Worker: w.id, Epoch: w.getEpoch()}); err != nil && ctx.Err() == nil {
+				w.log.Warn("heartbeat failed", "err", err.Error())
+			}
+		}
+	}
+}
+
+// drain deregisters cleanly and ends the run loop. It uses the parent
+// context (not the kill-cancellable one) so a drain triggered by
+// coordinator shutdown still completes the goodbye.
+func (w *Worker) drain(ctx context.Context) error {
+	w.log.Info("coordinator draining, deregistering")
+	if _, err := w.client.Deregister(ctx, DeregisterRequest{Worker: w.id, Epoch: w.getEpoch()}); err != nil {
+		w.log.Warn("deregister failed", "err", err.Error())
+	}
+	return nil
+}
+
+// execute runs every point of a lease through core.RunPoint, at the
+// configured concurrency, with the lease's trace ID threaded into the obs
+// context so coordinator, worker and simulation log lines correlate.
+func (w *Worker) execute(ctx context.Context, l *LeaseView) []PointResult {
+	p := w.cfg.Problem(l.Excite, l.Horizon)
+	if p.Runner == nil && w.cfg.Runner != nil {
+		p.Runner = w.cfg.Runner
+	}
+	lg := w.log.With("lease", l.ID, "job", l.Job)
+	if l.Trace != "" {
+		lg = lg.With("trace", l.Trace)
+		ctx = obs.WithTraceID(ctx, l.Trace)
+	}
+	ctx = obs.WithLogger(ctx, lg)
+	lg.Debug("lease executing", "points", len(l.Points))
+
+	out := make([]PointResult, len(l.Points))
+	sem := make(chan struct{}, w.cfg.Concurrency)
+	var wg sync.WaitGroup
+	for k, pt := range l.Points {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int, pt PointAssignment) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			vals, st, err := p.RunPoint(ctx, pt.Index, pt.Coded)
+			pr := PointResult{
+				Index:     pt.Index,
+				ElapsedNs: time.Since(start).Nanoseconds(),
+				Retries:   st.Retries,
+				Panics:    st.Panics,
+			}
+			if err != nil {
+				pr.Error = err.Error()
+				pr.Transient = core.IsTransient(err)
+			} else {
+				pr.Values = make(map[string]float64, len(vals))
+				for id, v := range vals {
+					pr.Values[string(id)] = v
+				}
+			}
+			out[k] = pr
+		}(k, pt)
+	}
+	wg.Wait()
+	return out
+}
+
+// sleepCtx waits d or until ctx ends; reports whether the full delay
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -241,6 +241,35 @@ func (p *Problem) runWithRetry(ctx context.Context, i int, coded []float64) (map
 	}
 }
 
+// RunStats summarizes the fault-recovery work one design-point run needed
+// under the problem's retry policy.
+type RunStats struct {
+	// Attempts is the total simulation attempts made (>= 1).
+	Attempts int
+	// Retries counts attempts retried after transient failures.
+	Retries int
+	// Panics counts engine panics recovered into errors.
+	Panics int
+}
+
+// RunPoint executes the single design point at index i (coded units) under
+// the problem's retry policy and per-run deadline — the same semantics one
+// run of RunDesignContext gets, exposed for callers that shard a design
+// across processes (internal/cluster workers run leased points through
+// it). The index seeds the retry jitter stream and labels errors, so a
+// remote run of point i is bit-identical to the local one.
+func (p *Problem) RunPoint(ctx context.Context, i int, coded []float64) (map[ResponseID]float64, RunStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, RunStats{}, err
+	}
+	resp, st, err := p.runWithRetry(ctx, i, coded)
+	stats := RunStats{Attempts: st.attempts, Retries: st.retries, Panics: st.panics}
+	if err != nil {
+		return nil, stats, wrapRunErr(i, st, err)
+	}
+	return resp, stats, nil
+}
+
 // mixSeed decorrelates per-run jitter streams (splitmix64 finalizer).
 func mixSeed(seed int64, run int) int64 {
 	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(run+1)

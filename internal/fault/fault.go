@@ -43,6 +43,12 @@ const (
 	// NaN runs the real simulation, then poisons the result with
 	// NaN/Inf response fields.
 	NaN
+	// Kill takes down the whole worker process mid-call, standing in for a
+	// crashed or partitioned fleet member: the injector invokes the
+	// registered OnKill handler (which abandons every lease and stops
+	// heartbeating) and the intercepted call never completes. Without a
+	// handler it degrades to a permanent error.
+	Kill
 )
 
 func (k Kind) String() string {
@@ -57,6 +63,8 @@ func (k Kind) String() string {
 		return "panic"
 	case NaN:
 		return "nan"
+	case Kill:
+		return "kill"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -71,6 +79,9 @@ type Config struct {
 	PPermanent float64
 	PPanic     float64
 	PNaN       float64
+	// PKill is the probability of killing the whole worker mid-call (see
+	// Kind Kill and Injector.OnKill).
+	PKill float64
 	// PLatency is the probability of adding Latency before the call
 	// proceeds (or fails).
 	PLatency float64
@@ -79,7 +90,8 @@ type Config struct {
 
 // Enabled reports whether any fault has a non-zero probability.
 func (c Config) Enabled() bool {
-	return c.PTransient > 0 || c.PPermanent > 0 || c.PPanic > 0 || c.PNaN > 0 || c.PLatency > 0
+	return c.PTransient > 0 || c.PPermanent > 0 || c.PPanic > 0 || c.PNaN > 0 ||
+		c.PKill > 0 || c.PLatency > 0
 }
 
 // Validate checks the probabilities.
@@ -89,13 +101,14 @@ func (c Config) Validate() error {
 		v    float64
 	}{
 		{"transient", c.PTransient}, {"permanent", c.PPermanent},
-		{"panic", c.PPanic}, {"nan", c.PNaN}, {"latency", c.PLatency},
+		{"panic", c.PPanic}, {"nan", c.PNaN}, {"kill", c.PKill},
+		{"latency", c.PLatency},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("fault: probability %s=%g outside [0, 1]", p.name, p.v)
 		}
 	}
-	if sum := c.PTransient + c.PPermanent + c.PPanic + c.PNaN; sum > 1 {
+	if sum := c.PTransient + c.PPermanent + c.PPanic + c.PNaN + c.PKill; sum > 1 {
 		return fmt.Errorf("fault: kind probabilities sum to %g > 1", sum)
 	}
 	if c.PLatency > 0 && c.Latency <= 0 {
@@ -139,6 +152,8 @@ func (c Config) Decide(call uint64) Decision {
 		d.Kind = Panic
 	case u < c.PTransient+c.PPermanent+c.PPanic+c.PNaN:
 		d.Kind = NaN
+	case u < c.PTransient+c.PPermanent+c.PPanic+c.PNaN+c.PKill:
+		d.Kind = Kill
 	}
 	if rng.Float64() < c.PLatency {
 		// Between 50% and 100% of the configured latency, so delays are
@@ -170,8 +185,9 @@ func (e *PermanentError) Error() string {
 // and Engine it wraps, so the schedule is consumed in call-arrival order.
 // Safe for concurrent use.
 type Injector struct {
-	cfg   Config
-	calls atomic.Uint64
+	cfg    Config
+	calls  atomic.Uint64
+	onKill atomic.Pointer[func()]
 }
 
 // New returns an Injector for the config. The config should be validated
@@ -183,6 +199,15 @@ func (inj *Injector) Config() Config { return inj.cfg }
 
 // Calls returns how many calls have been intercepted so far.
 func (inj *Injector) Calls() uint64 { return inj.calls.Load() }
+
+// OnKill registers the handler a Kill decision invokes — in a worker
+// daemon, the function that abandons every lease, stops heartbeating and
+// cancels the run context, so the process drops off the fleet exactly as a
+// crash would. The handler must (directly or transitively) cancel the
+// context of in-flight runs: after calling it the injector blocks the
+// intercepted call until its context is cancelled, because a killed worker
+// never answers.
+func (inj *Injector) OnKill(fn func()) { inj.onKill.Store(&fn) }
 
 // intercept applies the next schedule entry around run. ctx bounds the
 // injected latency and carries the trace logger; injected faults are
@@ -211,6 +236,20 @@ func (inj *Injector) intercept(ctx context.Context, run func() (*sim.Result, err
 	case Panic:
 		lg.Warn("fault: injecting panic", "call", call)
 		panic(fmt.Sprintf("fault: injected panic (call %d, seed %d)", call, inj.cfg.Seed))
+	case Kill:
+		if h := inj.onKill.Load(); h != nil {
+			lg.Warn("fault: killing worker", "call", call)
+			(*h)()
+			// The handler cancels the surrounding context; a killed worker
+			// never answers, so wait for the cancellation instead of
+			// returning a result.
+			<-ctx.Done()
+			return nil, context.Cause(ctx)
+		}
+		// No process to kill (injector used outside a worker daemon):
+		// degrade to a permanent failure so callers never hang.
+		lg.Warn("fault: kill decision without OnKill handler, degrading to permanent error", "call", call)
+		return nil, &PermanentError{Call: call}
 	}
 	res, err := run()
 	if err != nil || d.Kind != NaN {
@@ -269,12 +308,13 @@ func FlagConfig(fs *flag.FlagSet) func() Config {
 	pp := fs.Float64("fault-permanent", 0, "probability of an injected permanent simulation error")
 	ppanic := fs.Float64("fault-panic", 0, "probability of an injected simulation panic")
 	pnan := fs.Float64("fault-nan", 0, "probability of NaN/Inf-poisoned simulation responses")
+	pkill := fs.Float64("fault-kill", 0, "probability of killing the whole worker mid-simulation (worker daemons only)")
 	platency := fs.Float64("fault-latency-p", 0, "probability of injected latency before a simulation")
 	latency := fs.Duration("fault-latency", 100*time.Millisecond, "upper bound of injected latency per affected simulation")
 	return func() Config {
 		return Config{
 			Seed: *seed, PTransient: *pt, PPermanent: *pp, PPanic: *ppanic,
-			PNaN: *pnan, PLatency: *platency, Latency: *latency,
+			PNaN: *pnan, PKill: *pkill, PLatency: *platency, Latency: *latency,
 		}
 	}
 }

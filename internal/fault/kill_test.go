@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// TestKillDecision: PKill partitions the schedule like the other kinds and
+// is pinned by Decide.
+func TestKillDecision(t *testing.T) {
+	cfg := Config{Seed: 3, PKill: 1}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if d := cfg.Decide(i); d.Kind != Kill {
+			t.Fatalf("call %d: got %v, want kill", i, d.Kind)
+		}
+	}
+	if Kill.String() != "kill" {
+		t.Fatalf("Kill.String() = %q", Kill.String())
+	}
+	mixed := Config{Seed: 3, PKill: 0.3, PTransient: 0.3}
+	if err := mixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Kind]int{}
+	for i := uint64(0); i < 200; i++ {
+		seen[mixed.Decide(i).Kind]++
+	}
+	if seen[Kill] == 0 || seen[Transient] == 0 || seen[None] == 0 {
+		t.Fatalf("kinds never drawn: %v", seen)
+	}
+	if bad := (Config{PKill: 1.5}); bad.Validate() == nil {
+		t.Fatal("PKill out of range must not validate")
+	}
+}
+
+// TestKillInvokesHandlerAndBlocks: with an OnKill handler wired, a Kill
+// decision invokes it and blocks the call until the run context dies, then
+// surfaces the cancellation cause — exactly a worker dying mid-run.
+func TestKillInvokesHandlerAndBlocks(t *testing.T) {
+	inj := New(Config{Seed: 1, PKill: 1})
+	killed := errors.New("worker killed")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	inj.OnKill(func() { cancel(killed) })
+	r := inj.Wrap(simcache.Direct{})
+	start := time.Now()
+	_, err := r.Run(ctx, "test", okEngine, sim.Design{}, sim.Config{})
+	if !errors.Is(err, killed) {
+		t.Fatalf("got %v, want the cancellation cause", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("kill blocked past the context cancellation")
+	}
+}
+
+// TestKillWithoutHandlerDegrades: no OnKill handler means the kill cannot
+// take the process down, so it degrades to a permanent typed error.
+func TestKillWithoutHandlerDegrades(t *testing.T) {
+	inj := New(Config{Seed: 1, PKill: 1})
+	r := inj.Wrap(simcache.Direct{})
+	_, err := r.Run(context.Background(), "test", okEngine, sim.Design{}, sim.Config{})
+	var pe *PermanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PermanentError", err)
+	}
+}

@@ -136,6 +136,27 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// GaugeVec is a gauge family keyed by one label (e.g. per-worker inflight
+// leases).
+type GaugeVec struct{ f *family }
+
+// With returns (creating on first use) the gauge for a label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s, ok := v.f.samples[value]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{}
+	v.f.addLocked(value, g)
+	return g
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, labelKey string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, "gauge", labelKey, nil)}
+}
+
 // GaugeFunc registers a callback gauge, read at render time (uptime,
 // cache entry counts, queue depths).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {

@@ -130,3 +130,25 @@ func TestConcurrentInstruments(t *testing.T) {
 		t.Fatalf("gauge CAS lost updates: %v", g.Value())
 	}
 }
+
+func TestGaugeVecRender(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("app_inflight", "Inflight work by worker.", "worker")
+	v.With("w-1").Set(3)
+	v.With("w-2").Set(1)
+	v.With("w-1").Add(-1)
+
+	out := string(r.Render())
+	for _, want := range []string{
+		"# TYPE app_inflight gauge",
+		`app_inflight{worker="w-1"} 2`,
+		`app_inflight{worker="w-2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if v.With("w-1") != v.With("w-1") {
+		t.Fatal("With must be stable per label value")
+	}
+}

@@ -205,10 +205,20 @@ type BuildRequest struct {
 	Excite  float64 `json:"excite,omitempty"`
 	Seed    int64   `json:"seed,omitempty"`
 	Workers int     `json:"workers,omitempty"`
+	// Pool selects where the design points run: "local" (default) uses the
+	// in-process worker pool sized by Workers, "cluster" shards the points
+	// across the registered simnode worker fleet.
+	Pool string `json:"pool,omitempty"`
 	// TimeoutS bounds the whole build in seconds; 0 means the server
 	// default, and the server's configured maximum always caps it.
 	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
+
+// Values of BuildRequest.Pool.
+const (
+	PoolLocal   = "local"
+	PoolCluster = "cluster"
+)
 
 // JobView is the JSON snapshot of a build job. TraceID is the request ID
 // of the /v1/build call that enqueued it — the same ID threads the access
@@ -224,6 +234,7 @@ type JobView struct {
 	Amp        float64            `json:"amp"`
 	Seed       int64              `json:"seed"`
 	Workers    int                `json:"workers,omitempty"`
+	Pool       string             `json:"pool,omitempty"`
 	TimeoutS   float64            `json:"timeout_s,omitempty"`
 	Error      string             `json:"error,omitempty"`
 	ErrorCode  string             `json:"error_code,omitempty"`
@@ -278,8 +289,9 @@ const (
 // canceled jobs. Empty means a plain failure (validation, fit, or an
 // unretryable simulation error).
 const (
-	jobCodeTimeout  = "timeout"         // build exceeded its per-job deadline
-	jobCodePanic    = "panic"           // a simulation panic exhausted the retry budget
-	jobCodeCanceled = "canceled"        // server shutdown cancelled the job
-	jobCodeNumeric  = "numeric_invalid" // a simulation produced NaN/Inf responses
+	jobCodeTimeout   = "timeout"         // build exceeded its per-job deadline
+	jobCodePanic     = "panic"           // a simulation panic exhausted the retry budget
+	jobCodeCanceled  = "canceled"        // server shutdown cancelled the job
+	jobCodeNumeric   = "numeric_invalid" // a simulation produced NaN/Inf responses
+	jobCodeNoWorkers = "no_workers"      // cluster build stalled with no live workers
 )

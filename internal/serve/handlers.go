@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/opt"
 )
@@ -370,6 +371,10 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, codeQueueFull, "%v", err)
 		case errors.Is(err, ErrShuttingDown):
 			writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "%v", err)
+		case errors.Is(err, cluster.ErrNoWorkers):
+			// The fleet exists but nobody has joined it; retrying after
+			// workers register will succeed, so this is state, not shape.
+			writeError(w, http.StatusConflict, codeConflict, "%v", err)
 		default:
 			writeError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rsm"
@@ -59,6 +60,7 @@ func (j *Job) view() JobView {
 		Amp:        j.Req.Amp,
 		Seed:       j.Req.Seed,
 		Workers:    j.Req.Workers,
+		Pool:       j.Req.Pool,
 		Error:      j.Error,
 		ErrorCode:  j.Code,
 		EnqueuedAt: stamp(j.Enqueued),
@@ -110,6 +112,9 @@ type JobManagerConfig struct {
 	// from builds (via obs.WithFaultStats), so the server can expose them
 	// as metrics.
 	Faults *obs.FaultStats
+	// Cluster, when set, executes builds that request pool "cluster" by
+	// sharding the design points across the registered worker fleet.
+	Cluster *cluster.Coordinator
 }
 
 // JobManager owns a bounded queue of build jobs and a single build worker:
@@ -124,6 +129,7 @@ type JobManager struct {
 	finished   *obs.CounterVec
 	jobTimeout time.Duration
 	faults     *obs.FaultStats
+	cluster    *cluster.Coordinator
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -159,6 +165,7 @@ func NewJobManager(cfg JobManagerConfig) *JobManager {
 		finished:   cfg.Finished,
 		jobTimeout: cfg.JobTimeout,
 		faults:     cfg.Faults,
+		cluster:    cfg.Cluster,
 		ctx:        ctx,
 		cancel:     cancel,
 		jobs:       make(map[string]*Job),
@@ -197,6 +204,20 @@ func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, err
 	}
 	if req.Amp <= 0 {
 		req.Amp = 0.6
+	}
+	// Pool picks the execution fabric; fail fast when the cluster pool is
+	// requested but cannot possibly serve the build.
+	switch req.Pool {
+	case "", PoolLocal:
+	case PoolCluster:
+		if m.cluster == nil {
+			return JobView{}, fmt.Errorf("serve: pool %q: this server has no cluster coordinator", req.Pool)
+		}
+		if m.cluster.LiveWorkers() == 0 {
+			return JobView{}, fmt.Errorf("serve: pool %q: %w", req.Pool, cluster.ErrNoWorkers)
+		}
+	default:
+		return JobView{}, fmt.Errorf("serve: unknown pool %q (want %q or %q)", req.Pool, PoolLocal, PoolCluster)
 	}
 	// Fail fast on an unknown design instead of at run time.
 	k := len(m.problem(req.Amp, req.Horizon).Factors)
@@ -400,7 +421,21 @@ func (m *JobManager) run(j *Job) {
 	lg.Info("job started", "model", j.Req.Model, "design", j.Req.Design,
 		"runs", design.N(), "queue_wait_ms", float64(wait.Microseconds())/1e3)
 
-	ds, err := p.RunDesignContext(ctx, design, j.Req.Workers)
+	var ds *core.Dataset
+	if j.Req.Pool == PoolCluster {
+		// Shard the design points across the worker fleet. The trace ID
+		// rides on every lease, so worker-side run logs correlate with the
+		// submitting request.
+		ds, err = m.cluster.RunDesign(ctx, cluster.JobSpec{
+			ID:        j.ID,
+			Trace:     j.Trace,
+			Excite:    j.Req.Amp,
+			Horizon:   j.Req.Horizon,
+			Responses: p.Responses,
+		}, design)
+	} else {
+		ds, err = p.RunDesignContext(ctx, design, j.Req.Workers)
+	}
 	if ds != nil {
 		// Even a failed build carries its fault-recovery stats.
 		m.mu.Lock()
@@ -454,6 +489,10 @@ func (m *JobManager) classify(ctx context.Context, j *Job, err error) (JobState,
 		// bubbling up (RunTimeoutError also unwraps to DeadlineExceeded).
 		return JobFailed, jobCodeTimeout,
 			fmt.Errorf("build exceeded its %s timeout: %w", j.Timeout, err)
+	case errors.Is(err, cluster.ErrDraining):
+		return JobCanceled, jobCodeCanceled, err
+	case errors.Is(err, cluster.ErrNoWorkers):
+		return JobFailed, jobCodeNoWorkers, err
 	case errors.As(err, &perr):
 		return JobFailed, jobCodePanic, err
 	case errors.As(err, &nerr):

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/simcache"
@@ -45,6 +46,10 @@ type Config struct {
 	// JobTimeout bounds each build job: the default when a request sets no
 	// timeout_s, and the cap when it does. <=0 means unbounded.
 	JobTimeout time.Duration
+	// Cluster tunes the worker-fleet coordinator (heartbeat and lease
+	// timeouts, lease sizing, retry budgets). The zero value uses the
+	// cluster package defaults; the coordinator is always mounted.
+	Cluster cluster.Config
 }
 
 // Server wires the registry, job manager and observability into an
@@ -53,6 +58,7 @@ type Config struct {
 type Server struct {
 	registry *Registry
 	jobs     *JobManager
+	coord    *cluster.Coordinator
 	problem  ProblemFactory
 	cache    *simcache.Cache
 	maxBody  int64
@@ -124,6 +130,12 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	ccfg := cfg.Cluster
+	if ccfg.Log == nil {
+		ccfg.Log = logger
+	}
+	s.coord = cluster.NewCoordinator(ccfg)
+	s.coord.RegisterMetrics(s.reg, "ehdoed_cluster")
 	s.jobs = NewJobManager(JobManagerConfig{
 		Registry:   s.registry,
 		Problem:    s.problem,
@@ -132,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 		Finished:   s.reg.CounterVec("ehdoed_jobs_total", "Build jobs finished, by terminal state.", "state"),
 		JobTimeout: cfg.JobTimeout,
 		Faults:     s.faults,
+		Cluster:    s.coord,
 	})
 	s.routes()
 	if cfg.EnablePprof {
@@ -146,6 +159,10 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Jobs exposes the job manager.
 func (s *Server) Jobs() *JobManager { return s.jobs }
 
+// Coordinator exposes the worker-fleet coordinator (for cmd/ehdoed and
+// tests).
+func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
+
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -159,6 +176,10 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 func (s *Server) Shutdown(grace time.Duration) {
 	s.draining.Store(true)
 	s.log.Info("server draining", "grace_s", grace.Seconds())
+	// The coordinator drains first: outstanding leases are cancelled and
+	// cluster builds fail fast with ErrDraining (classified as canceled),
+	// while local builds still get the full grace period below.
+	s.coord.Shutdown()
 	s.jobs.Shutdown(grace)
 }
 

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"reflect"
 	"strings"
+
+	"repro/internal/cluster"
 )
 
 // endpointSpec is one row of the v1 API surface. The same table drives the
@@ -52,6 +54,18 @@ func (s *Server) endpoints() []endpointSpec {
 			nil, JobsResponse{}, s.handleJobsList},
 		{"GET", "/v1/jobs/{id}", "job_get", "Fetch one build job.",
 			nil, JobView{}, s.handleJobGet},
+		{"POST", cluster.PathRegister, "cluster_register", "Worker fleet: register (or re-register) a worker; issues its epoch.",
+			cluster.RegisterRequest{}, cluster.RegisterResponse{}, s.handleClusterRegister},
+		{"POST", cluster.PathHeartbeat, "cluster_heartbeat", "Worker fleet: refresh a worker's liveness.",
+			cluster.HeartbeatRequest{}, cluster.HeartbeatResponse{}, s.handleClusterHeartbeat},
+		{"POST", cluster.PathLease, "cluster_lease", "Worker fleet: pull the next batch of design points.",
+			cluster.LeaseRequest{}, cluster.LeaseResponse{}, s.handleClusterLease},
+		{"POST", cluster.PathResults, "cluster_results", "Worker fleet: report a finished lease's results.",
+			cluster.ResultsRequest{}, cluster.ResultsResponse{}, s.handleClusterResults},
+		{"POST", cluster.PathDeregister, "cluster_deregister", "Worker fleet: deregister cleanly.",
+			cluster.DeregisterRequest{}, cluster.DeregisterResponse{}, s.handleClusterDeregister},
+		{"GET", cluster.PathWorkers, "cluster_workers", "Worker fleet health: per-worker state, leases and counters.",
+			nil, cluster.WorkersResponse{}, s.handleClusterWorkers},
 	}
 }
 
