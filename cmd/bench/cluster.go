@@ -127,7 +127,8 @@ func benchFleet(r *benchkit.Report, name string, n int) (testing.BenchmarkResult
 }
 
 // benchClusterScaling runs the 1-worker and fleetWorkers-worker
-// measurements and records their ratio as the fleet-scaling speedup.
+// measurements and records their ratio as the fleet-scaling speedup, then
+// the repeated-point measurement over a cache-sharded fleet.
 func benchClusterScaling(r *benchkit.Report) error {
 	one, err := benchFleet(r, "cluster/FleetBuild1Worker", 1)
 	if err != nil {
@@ -141,6 +142,106 @@ func benchClusterScaling(r *benchkit.Report) error {
 	if manyNs := float64(many.NsPerOp()); manyNs > 0 {
 		r.SetSpeedup(fmt.Sprintf("fleet_%dv1_workers", fleetWorkers),
 			float64(one.NsPerOp())/manyNs)
+	}
+	if err := benchFleetRepeated(r, many); err != nil {
+		return fmt.Errorf("fleet bench (repeated points): %w", err)
+	}
+	return nil
+}
+
+// fleetCachedBenchProblem is fleetBenchProblem with the Runner left nil, so
+// each bench worker fronts the engine with its own simcache — the
+// configuration the sharded cache tier needs.
+func fleetCachedBenchProblem(excite, horizon float64) *core.Problem {
+	p := fleetBenchProblem(excite, horizon)
+	p.Runner = nil
+	return p
+}
+
+// benchFleetRepeated measures a repeated-point fleet build over a
+// cache-sharded fleet: the first (unmeasured) build simulates each unique
+// point exactly once fleet-wide, then every measured repeat is answered
+// from worker caches and peer fetches — no engine latency at all. The
+// ratio against the cache-less fleetWorkers measurement is recorded as the
+// fleet_repeat_cache speedup.
+func benchFleetRepeated(r *benchkit.Report, baseline testing.BenchmarkResult) error {
+	coord := cluster.NewCoordinator(cluster.Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  5 * time.Second,
+		LeaseTimeout:      time.Minute,
+		LeasePoints:       2,
+		PollInterval:      time.Millisecond,
+		Tick:              10 * time.Millisecond,
+	})
+	defer coord.Shutdown()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	errcs := make([]chan error, 0, fleetWorkers)
+	for i := 0; i < fleetWorkers; i++ {
+		cache := simcache.New(simcache.Options{Capacity: 256})
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Coordinator: srv.URL,
+			ID:          fmt.Sprintf("bench-repeat-%d", i),
+			Problem:     fleetCachedBenchProblem,
+			Runner:      cache,
+			Cache:       cache,
+			PeerAddr:    "127.0.0.1:0",
+			Concurrency: 1,
+			Heartbeat:   10 * time.Millisecond,
+			Poll:        time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- w.Run(context.Background()) }()
+		errcs = append(errcs, errc)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.LiveWorkers() < fleetWorkers {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d/%d repeat-bench workers registered", coord.LiveWorkers(), fleetWorkers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	design, err := core.NamedDesign("ccf", 4, 0, 1)
+	if err != nil {
+		return err
+	}
+	spec := cluster.JobSpec{
+		Excite:    0.6,
+		Horizon:   1,
+		Responses: fleetCachedBenchProblem(0.6, 1).Responses,
+	}
+	// Warm build: populates the sharded fleet cache.
+	if _, err := coord.RunDesign(context.Background(), spec, design); err != nil {
+		return err
+	}
+	br := measure(r, "cluster/FleetBuildRepeated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, err := coord.RunDesign(context.Background(), spec, design)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkDataset = ds
+		}
+	})
+
+	coord.Shutdown()
+	for i, errc := range errcs {
+		select {
+		case err := <-errc:
+			if err != nil {
+				return fmt.Errorf("repeat-bench worker %d exited dirty: %w", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("repeat-bench worker %d never drained", i)
+		}
+	}
+	if repNs := float64(br.NsPerOp()); repNs > 0 && baseline.NsPerOp() > 0 {
+		r.SetSpeedup("fleet_repeat_cache", float64(baseline.NsPerOp())/repNs)
 	}
 	return nil
 }

@@ -5,7 +5,7 @@
 // and — when given a committed baseline — fails with a non-zero exit if
 // any benchmark regressed past the tolerance band.
 //
-//	go run ./cmd/bench -out BENCH_6.json -baseline bench_baseline.json -tolerance 0.25
+//	go run ./cmd/bench -out BENCH_7.json -baseline bench_baseline.json -tolerance 0.25
 //
 // Comparisons use calibration-normalized time (see internal/benchkit), so
 // a baseline recorded on one machine remains meaningful on another. Under
@@ -43,7 +43,7 @@ var (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "report output path")
+	out := flag.String("out", "BENCH_7.json", "report output path")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty: no comparison)")
 	tolerance := flag.Float64("tolerance", 0.25, "fractional regression tolerance (0.25 = +25%)")
 	flag.Parse()

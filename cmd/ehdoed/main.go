@@ -27,6 +27,7 @@
 //	POST   /v1/cluster/results   worker fleet: report a finished lease
 //	POST   /v1/cluster/deregister worker fleet: clean goodbye
 //	GET    /v1/cluster/workers   worker fleet health view
+//	GET    /v1/cluster/cache     sharded cache tier: shard map + fleet cache counters
 //
 // Observability: every request gets (or keeps) an X-Request-ID; the same
 // ID threads the access log, build-job transitions and simulation-run
@@ -77,6 +78,7 @@ func main() {
 	clusterHeartbeat := flag.Duration("cluster-heartbeat", 2*time.Second, "worker-fleet heartbeat interval advertised to simnode workers")
 	clusterLeaseTimeout := flag.Duration("cluster-lease-timeout", 60*time.Second, "worker-fleet lease age past which slow leases are stolen")
 	clusterLeasePoints := flag.Int("cluster-lease-points", 4, "max design points per worker-fleet lease")
+	strictAPI := flag.Bool("strict-api", false, "reject deprecated request fields (the legacy \"amp\" alias) with code bad_field")
 	faultCfg := fault.FlagConfig(flag.CommandLine)
 	flag.Parse()
 
@@ -121,6 +123,7 @@ func main() {
 		Logger:      logger,
 		EnablePprof: *pprof,
 		JobTimeout:  *jobTimeout,
+		StrictAPI:   *strictAPI,
 		Cluster: cluster.Config{
 			HeartbeatInterval: *clusterHeartbeat,
 			LeaseTimeout:      *clusterLeaseTimeout,

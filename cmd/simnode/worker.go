@@ -21,8 +21,10 @@ import (
 // streams results back until the context ends, the coordinator drains, or
 // an injected kill takes it down. Each leased point runs through the same
 // StandardProblem + retry/timeout policy a local build would use, fronted
-// by the simulation cache (and the optional fault injector) so identical
-// points dedup per worker.
+// by the simulation cache (and the optional fault injector). The cache
+// joins the fleet's sharded tier: misses consult the owning peer before
+// simulating, and with -peer-listen set this worker serves its owned key
+// ranges to the rest of the fleet, so identical points dedup fleet-wide.
 func runWorker(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("simnode -serve", flag.ContinueOnError)
 	coordinator := fs.String("coordinator", "", "coordinator base URL (required), e.g. http://localhost:8080")
@@ -31,6 +33,9 @@ func runWorker(ctx context.Context, args []string, w io.Writer) error {
 	maxLease := fs.Int("max-lease", 0, "max design points requested per lease (0 = coordinator's default)")
 	cacheDir := fs.String("cache-dir", "", "directory for the persistent simulation-cache tier (empty = memory only)")
 	cacheSize := fs.Int("cache-size", 512, "in-memory simulation-cache capacity (entries)")
+	peerListen := fs.String("peer-listen", "", "peer-cache listen address (e.g. :9090); empty = fetch from peers but own no shard ranges")
+	peerAdvertise := fs.String("peer-advertise", "", "peer-cache base URL advertised to the fleet (default http://<peer-listen addr>)")
+	peerTimeout := fs.Duration("peer-timeout", 2*time.Second, "peer cache fetch/replication deadline; on expiry the point simulates locally")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	runTimeout := fs.Duration("run-timeout", 0, "per-simulation-run deadline (0 = unbounded)")
@@ -77,6 +82,10 @@ func runWorker(ctx context.Context, args []string, w io.Writer) error {
 		Runner:         runner,
 		Concurrency:    *concurrency,
 		MaxLeasePoints: *maxLease,
+		Cache:          cache,
+		PeerAddr:       *peerListen,
+		PeerAdvertise:  *peerAdvertise,
+		PeerTimeout:    *peerTimeout,
 		Log:            logger,
 	})
 	if err != nil {

@@ -1,0 +1,241 @@
+// Package apiclient is the one HTTP client for the repo's JSON APIs: the
+// ehdoed v1 surface, the cluster work protocol it mounts, and the worker
+// peer-cache protocol. Every production binary that issues an API request
+// goes through this client, so the wire behaviour — typed request/response
+// encoding, uniform error-envelope decoding, bounded retry with backoff on
+// transport failures, and X-Request-ID propagation — is defined exactly
+// once.
+//
+// Retries are transport-level only: a connection that failed before the
+// server produced a response is retried with doubling backoff; any HTTP
+// response, success or error, is authoritative and returned as-is. The
+// protocols this client serves are safe under that rule (registration and
+// results uploads are idempotent-ish by design; see internal/cluster).
+package apiclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Error is a decoded API error envelope ({"error": ..., "code": ...}): any
+// non-2xx response surfaces as one of these, with the HTTP status, the
+// machine-readable code, and the request ID the server echoed (or assigned).
+// Responses whose body is not a well-formed envelope still produce an
+// Error, with the raw body (truncated) as the message.
+type Error struct {
+	Status    int
+	Code      string
+	Message   string
+	RequestID string
+}
+
+func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("api: %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("api: %d: %s", e.Status, e.Message)
+}
+
+// ErrorCode extracts the machine-readable code from an error returned by
+// this package, or "" when err is nil or not an API error.
+func ErrorCode(err error) string {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
+// Options tunes a Client. The zero value gets the defaults documented on
+// each field.
+type Options struct {
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// MaxAttempts bounds one call's attempts, including the first
+	// (default 3). Only transport failures are retried; an HTTP response
+	// of any status ends the attempt loop.
+	MaxAttempts int
+	// BaseDelay is the first retry backoff; it doubles per attempt
+	// (default 50ms).
+	BaseDelay time.Duration
+	// MaxBody caps the decoded response body (default 64 MiB — lease
+	// responses and model documents are large).
+	MaxBody int64
+}
+
+// Client issues typed JSON calls against one base URL. Safe for concurrent
+// use.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxAttempts int
+	baseDelay   time.Duration
+	maxBody     int64
+}
+
+// New builds a client for the given base URL (e.g. "http://host:8080").
+func New(base string, opts Options) *Client {
+	hc := opts.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	attempts := opts.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	delay := opts.BaseDelay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	maxBody := opts.MaxBody
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	return &Client{
+		base:        strings.TrimRight(base, "/"),
+		hc:          hc,
+		maxAttempts: attempts,
+		baseDelay:   delay,
+		maxBody:     maxBody,
+	}
+}
+
+// Result is the raw outcome of one request — the escape hatch tests use to
+// assert on wire-level details (status, headers, exact body bytes).
+type Result struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// url joins the base with a path. Absolute http(s) URLs pass through
+// untouched, so callers holding a full peer/server URL can use one client
+// helper for everything.
+func (c *Client) url(path string) string {
+	if strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://") {
+		return path
+	}
+	return c.base + path
+}
+
+// Do issues one call (with the transport retry loop) and returns the raw
+// result without interpreting the status. in == nil sends no body.
+func (c *Client) Do(ctx context.Context, method, path string, in any) (*Result, error) {
+	var payload []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("api: encoding %s %s request: %w", method, path, err)
+		}
+		payload = b
+	}
+	// One request ID per call: adopt the context's trace so server logs
+	// correlate with the caller's, or mint a fresh client-side ID.
+	reqID := obs.TraceID(ctx)
+	if reqID == "" {
+		reqID = obs.NewID("cli-")
+	}
+
+	delay := c.baseDelay
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, context.Cause(ctx)
+			}
+			delay *= 2
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+		if err != nil {
+			return nil, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		req.Header.Set("X-Request-ID", reqID)
+		res, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, context.Cause(ctx)
+			}
+			lastErr = err
+			continue // transport failure: the server saw nothing definitive
+		}
+		out, err := io.ReadAll(io.LimitReader(res.Body, c.maxBody))
+		res.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return &Result{Status: res.StatusCode, Header: res.Header, Body: out}, nil
+	}
+	return nil, fmt.Errorf("api: %s %s failed after %d attempts: %w", method, path, c.maxAttempts, lastErr)
+}
+
+// Call issues a typed request: in (nil = no body) is marshalled, any
+// non-2xx answer is decoded into *Error, and a 2xx body is decoded into
+// out (out == nil discards it).
+func (c *Client) Call(ctx context.Context, method, path string, in, out any) error {
+	res, err := c.Do(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	if res.Status < 200 || res.Status > 299 {
+		return decodeError(res)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(res.Body, out); err != nil {
+		return fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Get issues a typed GET.
+func (c *Client) Get(ctx context.Context, path string, out any) error {
+	return c.Call(ctx, http.MethodGet, path, nil, out)
+}
+
+// Post issues a typed POST.
+func (c *Client) Post(ctx context.Context, path string, in, out any) error {
+	return c.Call(ctx, http.MethodPost, path, in, out)
+}
+
+// decodeError turns a non-2xx result into *Error, tolerating bodies that
+// are not the uniform envelope.
+func decodeError(res *Result) error {
+	e := &Error{Status: res.Status, RequestID: res.Header.Get("X-Request-ID")}
+	var envelope struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(res.Body, &envelope); err == nil && envelope.Error != "" {
+		e.Message, e.Code = envelope.Error, envelope.Code
+		return e
+	}
+	msg := strings.TrimSpace(string(res.Body))
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	e.Message = msg
+	return e
+}

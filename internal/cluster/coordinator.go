@@ -40,6 +40,8 @@ type Config struct {
 	// PollInterval is the idle lease-poll interval advertised to workers
 	// (default 200ms).
 	PollInterval time.Duration
+	// Shards is the cache shard-map slot count (default DefaultShards).
+	Shards int
 	// Tick is the failure-detector sweep cadence (default a quarter of the
 	// smallest timeout, clamped to [5ms, 1s]).
 	Tick time.Duration
@@ -68,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 200 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
 	}
 	if c.Tick <= 0 {
 		c.Tick = min(c.HeartbeatTimeout, c.LeaseTimeout) / 4
@@ -100,6 +105,17 @@ type workerState struct {
 	capacity int
 	lastBeat time.Time
 	leases   map[string]*lease
+
+	// peerURL is the worker's peer-cache base URL; "" means it does not
+	// participate in the sharded cache tier.
+	peerURL string
+	// suspect marks a worker whose lease was stolen: probably slow or
+	// unreachable, so it is excluded from the shard ring (peers fetching
+	// from it would stall out) until its next successful results upload
+	// or re-registration proves it responsive again.
+	suspect bool
+	// cache is the latest cumulative counter snapshot the worker reported.
+	cache CacheStats
 
 	// Lifetime counters for the worker ID, surviving re-registration.
 	completed   int
@@ -181,6 +197,15 @@ type Coordinator struct {
 	nextLease int
 	nextJob   int
 
+	// shardMap is the published cache shard map (nil until a peer-capable
+	// worker registers); shardIDs is the sorted member set it was built
+	// from, kept to detect membership changes. departed accumulates the
+	// final counter snapshots of cleanly deregistered workers so fleet
+	// cache totals stay monotonic across graceful churn.
+	shardMap *ShardMap
+	shardIDs []string
+	departed CacheStats
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -217,11 +242,144 @@ func (c *Coordinator) RegisterMetrics(reg *obs.Registry, prefix string) {
 		evicted:   reg.CounterVec(prefix+"_worker_evicted_total", "Circuit-break evictions after consecutive failures, by worker.", "worker"),
 		requeued:  reg.Counter(prefix+"_points_requeued_total", "Design points re-enqueued after worker loss, lease theft or transient failures."),
 	}
+	// Fleet cache-tier counters: sums over every worker's latest reported
+	// snapshot plus cleanly departed workers. Monotonic under graceful
+	// churn; a worker crash loses its deltas since the last heartbeat.
+	cacheCounter := func(name, help string, get func(CacheStats) uint64) {
+		reg.CounterFunc(prefix+"_cache_"+name+"_total", help, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(get(c.cacheTotalsLocked()))
+		})
+	}
+	cacheCounter("hits", "Fleet simulations answered from a worker's local cache tiers.",
+		func(s CacheStats) uint64 { return s.Hits })
+	cacheCounter("misses", "Fleet simulations actually executed by an engine.",
+		func(s CacheStats) uint64 { return s.Misses })
+	cacheCounter("peer_fetches", "Fleet cache misses answered by the owning peer.",
+		func(s CacheStats) uint64 { return s.PeerFetches })
+	cacheCounter("peer_timeouts", "Peer fetches that timed out or failed, falling back to local simulation.",
+		func(s CacheStats) uint64 { return s.PeerTimeouts })
+	cacheCounter("peer_served", "Peer-protocol lookups answered with a cached value.",
+		func(s CacheStats) uint64 { return s.PeerServed })
+	cacheCounter("peer_stores", "Replicated results accepted from peers.",
+		func(s CacheStats) uint64 { return s.PeerStores })
+	reg.GaugeFunc(prefix+"_cache_shard_generation", "Current cache shard-map generation (0 = no map published).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.shardMap == nil {
+				return 0
+			}
+			return float64(c.shardMap.Generation)
+		})
+	reg.GaugeFunc(prefix+"_cache_entries", "Fleet-wide in-memory cache entries (sum of worker snapshots).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.cacheTotalsLocked().Entries)
+		})
 }
 
 func (c *Coordinator) setInflightLocked(w *workerState) {
 	if c.metrics.inflight != nil {
 		c.metrics.inflight.With(w.id).Set(float64(len(w.leases)))
+	}
+}
+
+// rebuildShardsLocked recomputes the shard map from the current
+// peer-capable membership (active, non-suspect workers with a peer URL).
+// The generation is bumped only when the member set actually changed, so
+// heartbeats and repeated state transitions never thrash the map.
+func (c *Coordinator) rebuildShardsLocked() {
+	ids := make([]string, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.state == workerActive && !w.suspect && w.peerURL != "" {
+			ids = append(ids, w.id)
+		}
+	}
+	sort.Strings(ids)
+	if c.shardMap == nil && len(ids) == 0 {
+		return // no peer-capable worker has ever joined; nothing to publish
+	}
+	if c.shardMap != nil && slicesEqual(ids, c.shardIDs) {
+		return
+	}
+	gen := uint64(1)
+	if c.shardMap != nil {
+		gen = c.shardMap.Generation + 1
+	}
+	peers := make(map[string]string, len(ids))
+	for _, id := range ids {
+		peers[id] = c.workers[id].peerURL
+	}
+	c.shardIDs = ids
+	c.shardMap = &ShardMap{
+		Generation: gen,
+		Shards:     c.cfg.Shards,
+		Owners:     assignShards(ids, c.cfg.Shards),
+		Peers:      peers,
+	}
+	c.log.Info("shard map rebuilt", "generation", gen, "members", len(ids), "shards", c.cfg.Shards)
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mapIfNewerLocked returns the published map when it is ahead of the
+// generation a worker reported, nil otherwise (nothing to send).
+func (c *Coordinator) mapIfNewerLocked(gen uint64) *ShardMap {
+	if c.shardMap != nil && c.shardMap.Generation > gen {
+		return c.shardMap
+	}
+	return nil
+}
+
+// cacheTotalsLocked sums the fleet's cache counters: the latest snapshot
+// of every currently known worker plus the departed accumulator.
+func (c *Coordinator) cacheTotalsLocked() CacheStats {
+	t := c.departed
+	for _, w := range c.workers {
+		t.Add(w.cache)
+	}
+	return t
+}
+
+// CacheState snapshots the sharded cache tier for GET /v1/cluster/cache.
+func (c *Coordinator) CacheState() CacheStateResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owned := make(map[string]int)
+	if c.shardMap != nil {
+		for _, id := range c.shardMap.Owners {
+			owned[id]++
+		}
+	}
+	views := make([]CacheWorkerView, 0, len(c.workers))
+	for _, w := range c.workers {
+		views = append(views, CacheWorkerView{
+			ID:      w.id,
+			State:   w.state,
+			PeerURL: w.peerURL,
+			Shards:  owned[w.id],
+			Suspect: w.suspect,
+			Cache:   w.cache,
+		})
+	}
+	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
+	return CacheStateResponse{
+		Map:     c.shardMap,
+		Workers: views,
+		Totals:  c.cacheTotalsLocked(),
 	}
 }
 
@@ -252,13 +410,18 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	w.capacity = req.Capacity
 	w.lastBeat = time.Now()
 	w.consecFails = 0
+	w.suspect = false
+	w.peerURL = req.PeerURL
 	w.leases = make(map[string]*lease)
 	c.setInflightLocked(w)
-	c.log.Info("worker registered", "worker", w.id, "epoch", w.epoch, "fresh", fresh)
+	c.rebuildShardsLocked()
+	c.log.Info("worker registered", "worker", w.id, "epoch", w.epoch, "fresh", fresh,
+		"peer_url", w.peerURL)
 	return RegisterResponse{
 		Epoch:      w.epoch,
 		HeartbeatS: c.cfg.HeartbeatInterval.Seconds(),
 		PollS:      c.cfg.PollInterval.Seconds(),
+		Map:        c.shardMap,
 	}, nil
 }
 
@@ -282,7 +445,10 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 		return HeartbeatResponse{Gone: true, Draining: c.draining}
 	}
 	w.lastBeat = time.Now()
-	return HeartbeatResponse{OK: true, Draining: c.draining}
+	if req.Cache != nil {
+		w.cache = *req.Cache
+	}
+	return HeartbeatResponse{OK: true, Draining: c.draining, Map: c.mapIfNewerLocked(req.Generation)}
 }
 
 // Lease grants the next batch of pending design points to the worker, or
@@ -330,17 +496,22 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 		for i, id := range j.spec.Responses {
 			resp[i] = string(id)
 		}
-		return LeaseResponse{Lease: &LeaseView{
-			ID:        l.id,
-			Job:       j.spec.ID,
-			Trace:     j.spec.Trace,
-			Excite:    j.spec.Excite,
-			Horizon:   j.spec.Horizon,
-			Responses: resp,
-			Points:    pts,
-		}}
+		return LeaseResponse{
+			Lease: &LeaseView{
+				ID:        l.id,
+				Job:       j.spec.ID,
+				Trace:     j.spec.Trace,
+				Excite:    j.spec.Excite,
+				Horizon:   j.spec.Horizon,
+				Responses: resp,
+				Points:    pts,
+			},
+			// Carried on the grant so a worker never executes a lease
+			// against an older map than the coordinator holds.
+			Map: c.mapIfNewerLocked(req.Generation),
+		}
 	}
-	return LeaseResponse{}
+	return LeaseResponse{Map: c.mapIfNewerLocked(req.Generation)}
 }
 
 // Results records a finished lease. Results for points already filled by
@@ -355,6 +526,15 @@ func (c *Coordinator) Results(req ResultsRequest) ResultsResponse {
 		return ResultsResponse{Gone: true, Draining: c.draining}
 	}
 	w.lastBeat = time.Now()
+	if req.Cache != nil {
+		w.cache = *req.Cache
+	}
+	if w.suspect {
+		// A successful upload proves the worker responsive again: lift the
+		// lease-steal suspicion and let it re-own shards.
+		w.suspect = false
+		c.rebuildShardsLocked()
+	}
 	l := w.leases[req.Lease]
 	if l == nil {
 		// The lease was cancelled (its job finished or was shut down);
@@ -419,6 +599,11 @@ func (c *Coordinator) Deregister(req DeregisterRequest) DeregisterResponse {
 	}
 	c.dropLeasesLocked(w, &WorkerLostError{Worker: w.id, Reason: "worker deregistered"})
 	delete(c.workers, req.Worker)
+	// Fold the departing worker's final snapshot into the accumulator so
+	// fleet cache totals stay monotonic across graceful churn.
+	c.departed.Add(w.cache)
+	c.departed.Entries = 0 // entries is a gauge; departed caches hold none
+	c.rebuildShardsLocked()
 	if c.metrics.inflight != nil {
 		c.metrics.inflight.With(w.id).Set(0)
 	}
@@ -614,6 +799,7 @@ func (c *Coordinator) sweep(now time.Time) {
 			c.dropLeasesLocked(w, &WorkerLostError{Worker: w.id, Reason: "heartbeat timeout"})
 			w.state = workerLost
 			c.setInflightLocked(w)
+			c.rebuildShardsLocked() // its shard ranges move to the survivors
 		}
 	}
 	for _, w := range c.workers {
@@ -629,6 +815,14 @@ func (c *Coordinator) sweep(now time.Time) {
 				for _, pt := range l.points {
 					c.requeuePointLocked(l.job, pt.Index,
 						fmt.Errorf("cluster: lease %s timed out on worker %s", l.id, w.id))
+				}
+				if !w.suspect && w.peerURL != "" {
+					// A stolen lease marks the worker suspect: peers should
+					// stop routing cache fetches at a node that can't finish
+					// its own work in time. Its next successful results
+					// upload clears the flag.
+					w.suspect = true
+					c.rebuildShardsLocked()
 				}
 			}
 		}
@@ -667,6 +861,7 @@ func (c *Coordinator) evictLocked(w *workerState, reason string) {
 	c.log.Warn("worker evicted", "worker", w.id, "epoch", w.epoch, "reason", reason)
 	c.dropLeasesLocked(w, &WorkerLostError{Worker: w.id, Reason: "evicted: " + reason})
 	w.state = workerEvicted
+	c.rebuildShardsLocked()
 	if c.metrics.evicted != nil {
 		c.metrics.evicted.With(w.id).Inc()
 	}

@@ -1,13 +1,14 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
+	"sync"
+
+	"repro/internal/apiclient"
 )
 
 // Handler mounts the work protocol on a plain mux — what tests and
@@ -19,40 +20,40 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathRegister, func(w http.ResponseWriter, r *http.Request) {
 		var req RegisterRequest
-		if !decodeBody(w, r, &req) {
+		if !decodeBody(w, r, &req) || !checkProto(w, req) {
 			return
 		}
 		resp, err := c.Register(req)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, "invalid_request", err)
 			return
 		}
 		encodeBody(w, resp)
 	})
 	mux.HandleFunc("POST "+PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
-		if !decodeBody(w, r, &req) {
+		if !decodeBody(w, r, &req) || !checkProto(w, req) {
 			return
 		}
 		encodeBody(w, c.Heartbeat(req))
 	})
 	mux.HandleFunc("POST "+PathLease, func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
-		if !decodeBody(w, r, &req) {
+		if !decodeBody(w, r, &req) || !checkProto(w, req) {
 			return
 		}
 		encodeBody(w, c.Lease(req))
 	})
 	mux.HandleFunc("POST "+PathResults, func(w http.ResponseWriter, r *http.Request) {
 		var req ResultsRequest
-		if !decodeBody(w, r, &req) {
+		if !decodeBody(w, r, &req) || !checkProto(w, req) {
 			return
 		}
 		encodeBody(w, c.Results(req))
 	})
 	mux.HandleFunc("POST "+PathDeregister, func(w http.ResponseWriter, r *http.Request) {
 		var req DeregisterRequest
-		if !decodeBody(w, r, &req) {
+		if !decodeBody(w, r, &req) || !checkProto(w, req) {
 			return
 		}
 		encodeBody(w, c.Deregister(req))
@@ -60,12 +61,30 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET "+PathWorkers, func(w http.ResponseWriter, r *http.Request) {
 		encodeBody(w, WorkersResponse{Workers: c.Workers()})
 	})
+	mux.HandleFunc("GET "+PathCache, func(w http.ResponseWriter, r *http.Request) {
+		encodeBody(w, c.CacheState())
+	})
 	return mux
 }
 
+// decodeBody strictly decodes a protocol request: unknown fields are
+// rejected so a newer client's message never silently loses meaning on an
+// older server.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid_request", fmt.Errorf("malformed JSON body: %w", err))
+		return false
+	}
+	return true
+}
+
+// checkProto rejects requests speaking the wrong protocol generation with
+// the typed proto_mismatch code.
+func checkProto(w http.ResponseWriter, v Versioned) bool {
+	if err := CheckProto(v); err != nil {
+		httpError(w, http.StatusBadRequest, "proto_mismatch", err)
 		return false
 	}
 	return true
@@ -76,79 +95,77 @@ func encodeBody(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
+func httpError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": "invalid_request"})
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
 }
 
 // Client dials a coordinator's work protocol — the worker side of the
-// wire. Zero value is unusable; set Base (and optionally HTTP).
+// wire, built on the shared apiclient (typed envelopes, transport retry,
+// X-Request-ID propagation). Zero value is unusable; set Base (and
+// optionally HTTP). Every request is stamped with this build's
+// ProtoVersion.
 type Client struct {
 	// Base is the coordinator's base URL (e.g. "http://host:8080").
 	Base string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+
+	once sync.Once
+	api  *apiclient.Client
 }
 
-func (cl *Client) post(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("cluster: encoding %s request: %w", path, err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimRight(cl.Base, "/")+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	hc := cl.HTTP
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	res, err := hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(res.Body, 4<<10))
-		return fmt.Errorf("cluster: %s answered %d: %s", path, res.StatusCode, strings.TrimSpace(string(msg)))
-	}
-	return json.NewDecoder(io.LimitReader(res.Body, 64<<20)).Decode(out)
+func (cl *Client) client() *apiclient.Client {
+	cl.once.Do(func() {
+		cl.api = apiclient.New(cl.Base, apiclient.Options{HTTP: cl.HTTP})
+	})
+	return cl.api
 }
 
 // Register announces the worker.
 func (cl *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	req.ProtoVersion = ProtoVersion
 	var out RegisterResponse
-	err := cl.post(ctx, PathRegister, req, &out)
+	err := cl.client().Post(ctx, PathRegister, req, &out)
 	return out, err
 }
 
 // Heartbeat refreshes the worker's liveness.
 func (cl *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	req.ProtoVersion = ProtoVersion
 	var out HeartbeatResponse
-	err := cl.post(ctx, PathHeartbeat, req, &out)
+	err := cl.client().Post(ctx, PathHeartbeat, req, &out)
 	return out, err
 }
 
 // Lease pulls the next batch of work.
 func (cl *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	req.ProtoVersion = ProtoVersion
 	var out LeaseResponse
-	err := cl.post(ctx, PathLease, req, &out)
+	err := cl.client().Post(ctx, PathLease, req, &out)
 	return out, err
 }
 
 // Results streams a finished lease back.
 func (cl *Client) Results(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	req.ProtoVersion = ProtoVersion
 	var out ResultsResponse
-	err := cl.post(ctx, PathResults, req, &out)
+	err := cl.client().Post(ctx, PathResults, req, &out)
 	return out, err
 }
 
 // Deregister removes the worker cleanly.
 func (cl *Client) Deregister(ctx context.Context, req DeregisterRequest) (DeregisterResponse, error) {
+	req.ProtoVersion = ProtoVersion
 	var out DeregisterResponse
-	err := cl.post(ctx, PathDeregister, req, &out)
+	err := cl.client().Post(ctx, PathDeregister, req, &out)
+	return out, err
+}
+
+// CacheState reads the fleet cache-tier snapshot.
+func (cl *Client) CacheState(ctx context.Context) (CacheStateResponse, error) {
+	var out CacheStateResponse
+	err := cl.client().Get(ctx, PathCache, &out)
 	return out, err
 }

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apiclient"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// defaultPeerTimeout bounds one peer fetch or replication push. Peer
+// round-trips trade against re-simulating locally, so the bound is tight:
+// a slow owner costs one redundant simulation, never a stalled build.
+const defaultPeerTimeout = 2 * time.Second
+
+// peerCache is a worker's view of the fleet's sharded cache tier. It plays
+// both sides of the peer protocol:
+//
+//   - As simcache.Remote it routes misses to the owning peer (Fetch) and
+//     replicates fresh results to the owner (Store), using the latest
+//     coordinator-published shard map.
+//   - As an http.Handler it serves this worker's owned key ranges to the
+//     rest of the fleet out of the worker's own simcache.
+//
+// Ownership is a routing hint only (see ShardMap); every decision here
+// fails open to local simulation.
+type peerCache struct {
+	owner   string // this worker's fleet ID
+	cache   *simcache.Cache
+	timeout time.Duration
+	api     *apiclient.Client
+	log     *slog.Logger
+
+	smap atomic.Pointer[ShardMap]
+
+	// Counters feeding CacheStats; see that type for semantics.
+	fetches  atomic.Uint64
+	timeouts atomic.Uint64
+	served   atomic.Uint64
+	stores   atomic.Uint64
+}
+
+func newPeerCache(owner string, cache *simcache.Cache, timeout time.Duration, hc *http.Client, lg *slog.Logger) *peerCache {
+	if timeout <= 0 {
+		timeout = defaultPeerTimeout
+	}
+	return &peerCache{
+		owner: owner,
+		cache: cache,
+		// One attempt per peer call: on failure we simulate locally, which
+		// is both the fallback and the retry.
+		api:     apiclient.New("", apiclient.Options{HTTP: hc, MaxAttempts: 1}),
+		timeout: timeout,
+		log:     lg,
+	}
+}
+
+// adopt installs a shard map if it is newer than the one held. Maps are
+// immutable, so a pointer swap is the whole update.
+func (p *peerCache) adopt(m *ShardMap) {
+	if m == nil {
+		return
+	}
+	for {
+		cur := p.smap.Load()
+		if cur != nil && cur.Generation >= m.Generation {
+			return
+		}
+		if p.smap.CompareAndSwap(cur, m) {
+			p.log.Debug("shard map adopted", "generation", m.Generation, "members", len(m.Peers))
+			return
+		}
+	}
+}
+
+func (p *peerCache) generation() uint64 {
+	if m := p.smap.Load(); m != nil {
+		return m.Generation
+	}
+	return 0
+}
+
+// route resolves a key to a remote owner's peer URL; "" means the key is
+// unowned or owned by this worker (either way: handle locally).
+func (p *peerCache) route(key string) string {
+	id, peerURL := p.smap.Load().Owner(key)
+	if id == "" || id == p.owner {
+		return ""
+	}
+	return peerURL
+}
+
+// Fetch implements simcache.Remote: ask the key's owner for a cached
+// result. Any failure — owner down, timeout, bad answer — counts a peer
+// timeout and falls back to local simulation; a clean not-found is the
+// normal first-touch path and counts nothing.
+func (p *peerCache) Fetch(ctx context.Context, key, engine string) (*sim.Result, bool) {
+	peerURL := p.route(key)
+	if peerURL == "" {
+		return nil, false
+	}
+	fctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req := PeerGetRequest{
+		ProtoHeader: ProtoHeader{ProtoVersion: ProtoVersion},
+		Key:         key,
+		Engine:      engine,
+		Generation:  p.generation(),
+	}
+	var resp PeerGetResponse
+	if err := p.api.Post(fctx, peerURL+PathPeerGet, req, &resp); err != nil {
+		p.timeouts.Add(1)
+		p.log.Debug("peer fetch failed, simulating locally",
+			"key", key[:12], "peer", peerURL, "err", err.Error())
+		return nil, false
+	}
+	if !resp.Found || resp.Result == nil {
+		return nil, false
+	}
+	p.fetches.Add(1)
+	return resp.Result, true
+}
+
+// Store implements simcache.Remote: replicate a freshly simulated result
+// to the key's owner. Called synchronously from the simcache fill path —
+// by the time the result reaches the coordinator, the owner can serve it —
+// but best-effort: a failed push costs the fleet one redundant simulation
+// later, never this run. The push survives the run's own cancellation
+// (the work is done; losing the replica would waste it) within the peer
+// timeout bound.
+func (p *peerCache) Store(ctx context.Context, key, engine string, res *sim.Result) {
+	peerURL := p.route(key)
+	if peerURL == "" {
+		return
+	}
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), p.timeout)
+	defer cancel()
+	req := PeerPutRequest{
+		ProtoHeader: ProtoHeader{ProtoVersion: ProtoVersion},
+		Key:         key,
+		Engine:      engine,
+		Result:      res,
+	}
+	if err := p.api.Post(sctx, peerURL+PathPeerPut, req, nil); err != nil {
+		p.log.Debug("peer store failed", "key", key[:12], "peer", peerURL, "err", err.Error())
+	}
+}
+
+// stats snapshots this worker's cache counters in the wire shape. Hits
+// folds every local answered-without-simulating tier (memory, dedup,
+// disk); Misses counts engine executions only, so fleet-wide
+// exactly-once shows up as misses == unique points.
+func (p *peerCache) stats() *CacheStats {
+	s := p.cache.Stats()
+	return &CacheStats{
+		Hits:         s.Hits + s.DedupHits + s.DiskHits,
+		Misses:       s.Misses,
+		PeerFetches:  p.fetches.Load(),
+		PeerTimeouts: p.timeouts.Load(),
+		PeerServed:   p.served.Load(),
+		PeerStores:   p.stores.Load(),
+		Entries:      s.Entries,
+	}
+}
+
+// handler serves the peer protocol for this worker's owned ranges.
+func (p *peerCache) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathPeerGet, func(w http.ResponseWriter, r *http.Request) {
+		var req PeerGetRequest
+		if !decodeBody(w, r, &req) || !checkProto(w, req) {
+			return
+		}
+		if !validCacheKey(req.Key) {
+			httpError(w, http.StatusBadRequest, "invalid_request",
+				fmt.Errorf("cluster: malformed cache key"))
+			return
+		}
+		resp := PeerGetResponse{Stale: req.Generation < p.generation()}
+		if res, ok := p.cache.Lookup(r.Context(), req.Key, req.Engine); ok {
+			resp.Found, resp.Result = true, res
+			p.served.Add(1)
+		}
+		encodeBody(w, resp)
+	})
+	mux.HandleFunc("POST "+PathPeerPut, func(w http.ResponseWriter, r *http.Request) {
+		var req PeerPutRequest
+		if !decodeBody(w, r, &req) || !checkProto(w, req) {
+			return
+		}
+		if !validCacheKey(req.Key) || req.Result == nil {
+			httpError(w, http.StatusBadRequest, "invalid_request",
+				fmt.Errorf("cluster: malformed replication push"))
+			return
+		}
+		p.cache.Insert(req.Key, req.Engine, req.Result)
+		p.stores.Add(1)
+		encodeBody(w, PeerPutResponse{OK: true})
+	})
+	return mux
+}
+
+// serve starts the peer listener on addr and returns the advertised base
+// URL (advertise overrides the derived one — for NAT'd or named hosts).
+// The returned stop func closes the listener and in-flight peer requests.
+func (p *peerCache) serve(addr, advertise string) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("cluster: peer listener on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: p.handler()}
+	go srv.Serve(ln)
+	url = advertise
+	if url == "" {
+		url = "http://" + ln.Addr().String()
+	}
+	p.log.Info("peer cache serving", "addr", ln.Addr().String(), "url", url)
+	return url, func() { srv.Close() }, nil
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultShards is the number of hash slots the fingerprint key space is
+// divided into. 64 slots over a handful of workers keeps ownership
+// granular enough that joins and losses move ~1/N of the key space while
+// the map stays a few hundred bytes on the wire.
+const DefaultShards = 64
+
+// ShardMap is the coordinator-published assignment of simcache fingerprint
+// key ranges to workers. A key's slot is ShardOf(key, Shards); Owners[slot]
+// names the worker that caches that slot (or "" while no peer-capable
+// worker is registered), and Peers maps worker IDs to their peer-cache
+// base URLs.
+//
+// Maps are immutable once published: the coordinator builds a fresh value
+// (with Generation bumped) whenever the peer-capable membership changes —
+// register, deregister, heartbeat-timeout loss, circuit-break eviction,
+// and lease-steal suspicion all trigger a rebuild. Workers therefore share
+// *ShardMap pointers freely and compare Generation to detect staleness.
+//
+// Ownership is a routing hint, never a correctness boundary: the cache is
+// content-addressed, so an answer for key K is valid no matter which
+// incarnation of which worker serves it. A stale map costs at worst one
+// redundant simulation.
+type ShardMap struct {
+	Generation uint64            `json:"generation"`
+	Shards     int               `json:"shards"`
+	Owners     []string          `json:"owners"`
+	Peers      map[string]string `json:"peers,omitempty"`
+}
+
+// ShardOf maps a fingerprint key to its slot (FNV-1a over the key bytes).
+func ShardOf(key string, shards int) int {
+	if shards <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Owner resolves a key to its owning worker ID and peer URL; both empty
+// when the slot is unowned.
+func (m *ShardMap) Owner(key string) (id, peerURL string) {
+	if m == nil || len(m.Owners) == 0 {
+		return "", ""
+	}
+	id = m.Owners[ShardOf(key, m.Shards)]
+	return id, m.Peers[id]
+}
+
+// assignShards distributes slots over workers by rendezvous (highest
+// random weight) hashing: each slot is owned by the worker with the
+// highest hash(worker, slot). Deterministic in the member set, and minimal
+// disruption — a membership change only moves the slots the joining or
+// leaving worker wins or held.
+func assignShards(ids []string, shards int) []string {
+	owners := make([]string, shards)
+	if len(ids) == 0 {
+		return owners
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	var buf [8]byte
+	for slot := range owners {
+		var best uint64
+		for _, id := range sorted {
+			h := fnv.New64a()
+			h.Write([]byte(id))
+			buf[0] = byte(slot)
+			buf[1] = byte(slot >> 8)
+			buf[2] = byte(slot >> 16)
+			buf[3] = byte(slot >> 24)
+			h.Write(buf[:4])
+			if w := h.Sum64(); owners[slot] == "" || w > best {
+				best = w
+				owners[slot] = id
+			}
+		}
+	}
+	return owners
+}
+
+// validCacheKey gates peer-protocol keys: simcache fingerprints are
+// exactly 64 lowercase hex characters, and the disk tier uses the key as
+// a filename — anything else (path traversal, junk) is rejected at the
+// wire.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -38,6 +38,21 @@ type WorkerConfig struct {
 	// when positive.
 	Heartbeat time.Duration
 	Poll      time.Duration
+	// Cache, when set, joins the worker to the fleet's sharded cache tier:
+	// misses consult the owning peer before simulating, and fresh results
+	// replicate to the owner. Cache should be the same *simcache.Cache the
+	// Runner chain fronts runs with — the remote tier hooks its fill path.
+	Cache *simcache.Cache
+	// PeerAddr is the peer-protocol listen address (e.g. ":9090" or
+	// "127.0.0.1:0"); empty means the worker fetches from peers but serves
+	// nothing, so it owns no shard ranges.
+	PeerAddr string
+	// PeerAdvertise overrides the advertised peer base URL (for NAT'd or
+	// named hosts); empty derives "http://<listen-addr>".
+	PeerAdvertise string
+	// PeerTimeout bounds one peer fetch or replication push (default 2s);
+	// on expiry the worker simulates locally.
+	PeerTimeout time.Duration
 	// Log receives worker lifecycle lines; nil discards them.
 	Log *slog.Logger
 }
@@ -59,6 +74,11 @@ type Worker struct {
 	mu     sync.Mutex
 	epoch  string
 	cancel context.CancelCauseFunc
+
+	// peer is the sharded cache tier (nil when cfg.Cache is nil); peerURL
+	// is the base URL advertised at registration ("" = serves nothing).
+	peer    *peerCache
+	peerURL string
 
 	killed atomic.Bool
 	wg     sync.WaitGroup
@@ -139,6 +159,20 @@ func (w *Worker) Run(ctx context.Context) (err error) {
 		}
 	}()
 
+	if w.cfg.Cache != nil {
+		w.peer = newPeerCache(w.id, w.cfg.Cache, w.cfg.PeerTimeout, w.cfg.HTTP, w.log)
+		if w.cfg.PeerAddr != "" {
+			url, stop, perr := w.peer.serve(w.cfg.PeerAddr, w.cfg.PeerAdvertise)
+			if perr != nil {
+				return perr
+			}
+			w.peerURL = url
+			defer stop()
+		}
+		w.cfg.Cache.SetRemote(w.peer)
+		defer w.cfg.Cache.SetRemote(nil)
+	}
+
 	draining, err := w.register(runCtx)
 	if err != nil || draining {
 		return err
@@ -152,6 +186,7 @@ func (w *Worker) Run(ctx context.Context) (err error) {
 		}
 		lr, err := w.client.Lease(runCtx, LeaseRequest{
 			Worker: w.id, Epoch: w.getEpoch(), Max: w.cfg.MaxLeasePoints,
+			Generation: w.generation(),
 		})
 		switch {
 		case err != nil:
@@ -170,18 +205,23 @@ func (w *Worker) Run(ctx context.Context) (err error) {
 			}
 			continue
 		case lr.Lease == nil:
+			w.adoptMap(lr.Map)
 			if !sleepCtx(runCtx, w.poll) {
 				return context.Cause(runCtx)
 			}
 			continue
 		}
 
+		// Adopt the map carried on the grant before executing, so this
+		// lease's misses route against the generation it was granted under.
+		w.adoptMap(lr.Map)
 		results := w.execute(runCtx, lr.Lease)
 		if w.killed.Load() {
 			return ErrKilled // a dead worker reports nothing
 		}
 		rr, err := w.client.Results(runCtx, ResultsRequest{
 			Worker: w.id, Epoch: w.getEpoch(), Lease: lr.Lease.ID, Results: results,
+			Cache: w.cacheStats(),
 		})
 		switch {
 		case err != nil:
@@ -204,13 +244,16 @@ func (w *Worker) Run(ctx context.Context) (err error) {
 func (w *Worker) register(ctx context.Context) (draining bool, err error) {
 	backoff := 50 * time.Millisecond
 	for {
-		resp, err := w.client.Register(ctx, RegisterRequest{Worker: w.id, Capacity: w.cfg.Concurrency})
+		resp, err := w.client.Register(ctx, RegisterRequest{
+			Worker: w.id, Capacity: w.cfg.Concurrency, PeerURL: w.peerURL,
+		})
 		if err == nil {
 			if resp.Draining {
 				w.log.Info("coordinator draining, not joining")
 				return true, nil
 			}
 			w.setEpoch(resp.Epoch)
+			w.adoptMap(resp.Map)
 			// Adopt the advertised cadence unless configured explicitly.
 			// Only the first registration can write these: the heartbeat
 			// loop (which reads them) starts after it returns.
@@ -252,9 +295,15 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if _, err := w.client.Heartbeat(ctx, HeartbeatRequest{Worker: w.id, Epoch: w.getEpoch()}); err != nil && ctx.Err() == nil {
+			hr, err := w.client.Heartbeat(ctx, HeartbeatRequest{
+				Worker: w.id, Epoch: w.getEpoch(),
+				Generation: w.generation(), Cache: w.cacheStats(),
+			})
+			if err != nil && ctx.Err() == nil {
 				w.log.Warn("heartbeat failed", "err", err.Error())
+				continue
 			}
+			w.adoptMap(hr.Map)
 		}
 	}
 }
@@ -317,6 +366,31 @@ func (w *Worker) execute(ctx context.Context, l *LeaseView) []PointResult {
 	}
 	wg.Wait()
 	return out
+}
+
+// adoptMap installs a newer shard map on the peer tier; a nil map or a
+// cache-less worker is a no-op.
+func (w *Worker) adoptMap(m *ShardMap) {
+	if w.peer != nil {
+		w.peer.adopt(m)
+	}
+}
+
+// generation is the shard-map generation this worker holds (0 = none).
+func (w *Worker) generation() uint64 {
+	if w.peer == nil {
+		return 0
+	}
+	return w.peer.generation()
+}
+
+// cacheStats snapshots the worker's cache counters for piggybacking; nil
+// for cache-less workers.
+func (w *Worker) cacheStats() *CacheStats {
+	if w.peer == nil {
+		return nil
+	}
+	return w.peer.stats()
 }
 
 // sleepCtx waits d or until ctx ends; reports whether the full delay

@@ -276,6 +276,7 @@ type errorBody struct {
 const (
 	codeInvalidRequest = "invalid_request" // malformed body, bad field values
 	codeBadField       = "bad_field"       // request carries an unknown field
+	codeProtoMismatch  = "proto_mismatch"  // cluster request speaks the wrong protocol version
 	codeNotFound       = "not_found"       // unknown model or job
 	codeConflict       = "conflict"        // request inconsistent with server state
 	codeQueueFull      = "queue_full"      // build queue at capacity

@@ -409,3 +409,145 @@ func TestClusterShutdownCancelsBuild(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// fleetCachedProblem is fleetProblem with the Runner left open so each
+// worker fronts leased points with its own simcache — the sharded-tier
+// configuration a `simnode -serve -peer-listen` daemon runs.
+func fleetCachedProblem(amp, horizon float64) *core.Problem {
+	p := fleetProblem(amp, horizon)
+	p.Runner = nil
+	return p
+}
+
+// startCacheFleetWorker runs a fleet worker whose simcache participates in
+// the sharded cache tier over a real loopback peer listener.
+func startCacheFleetWorker(t *testing.T, url, id string) (*cluster.Worker, chan error) {
+	t.Helper()
+	cache := simcache.New(simcache.Options{Capacity: 256})
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: url,
+		ID:          id,
+		Problem:     fleetCachedProblem,
+		Runner:      cache,
+		Cache:       cache,
+		PeerAddr:    "127.0.0.1:0",
+		Concurrency: 2,
+		Heartbeat:   10 * time.Millisecond,
+		Poll:        2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- w.Run(context.Background()) }()
+	return w, errc
+}
+
+// TestClusterFleetCacheExactlyOnce is the tentpole acceptance e2e: over a
+// cache-sharded 3-worker fleet, a repeated build request simulates each
+// unique design point exactly once fleet-wide. The first build pays one
+// engine execution per unique point (the ccf k=4 design has 27 rows, 25
+// unique — center replicas may race onto distinct workers); the repeat
+// build pays zero: every point is answered by a worker's own cache or a
+// peer fetch from the owning shard, and the two models are bit-identical.
+func TestClusterFleetCacheExactlyOnce(t *testing.T) {
+	srv, ts := newTestServer(t, Config{QueueCap: 4, Problem: fleetProblem, Cluster: fastFleet()})
+
+	ids := []string{"cw-1", "cw-2", "cw-3"}
+	errcs := make([]chan error, len(ids))
+	for i, id := range ids {
+		_, errcs[i] = startCacheFleetWorker(t, ts.URL, id)
+	}
+	waitFleet(t, srv.Coordinator(), len(ids))
+
+	counters := func() (hits, misses, fetches float64) {
+		_, body := get(t, ts.URL+"/metrics")
+		page := string(body)
+		return metricValue(t, page, "ehdoed_cluster_cache_hits_total"),
+			metricValue(t, page, "ehdoed_cluster_cache_misses_total"),
+			metricValue(t, page, "ehdoed_cluster_cache_peer_fetches_total")
+	}
+
+	job := fleetBuild(t, ts.URL, BuildRequest{
+		Model: "cache-a", Design: "ccf", Horizon: 2, Seed: 1, Pool: PoolCluster,
+	})
+	if done := pollJob(t, ts.URL, job.ID); done.State != string(JobDone) {
+		t.Fatalf("first cached fleet build did not finish: %+v", done)
+	}
+	hitsA, missesA, fetchesA := counters()
+	// Every unique point simulated exactly once fleet-wide: 25 unique rows,
+	// plus up to 2 center replicas that may race onto workers that haven't
+	// seen (or fetched) the first center run yet.
+	if missesA < 25 || missesA > 27 {
+		t.Fatalf("first build ran the engine %v times, want 25..27", missesA)
+	}
+	// Each of the 27 leased points resolved exactly one way.
+	if got := hitsA + fetchesA + missesA; got != 27 {
+		t.Fatalf("first build resolved %v points (hits %v + fetches %v + misses %v), want 27",
+			got, hitsA, fetchesA, missesA)
+	}
+
+	repeat := fleetBuild(t, ts.URL, BuildRequest{
+		Model: "cache-b", Design: "ccf", Horizon: 2, Seed: 1, Pool: PoolCluster,
+	})
+	if done := pollJob(t, ts.URL, repeat.ID); done.State != string(JobDone) {
+		t.Fatalf("repeat cached fleet build did not finish: %+v", done)
+	}
+	hitsB, missesB, fetchesB := counters()
+	// The repeat build must not touch the engine at all...
+	if missesB != missesA {
+		t.Fatalf("repeat build ran the engine %v more times — fleet cache not exactly-once", missesB-missesA)
+	}
+	// ...and must answer all 27 points from the cache tier.
+	if got := (hitsB + fetchesB) - (hitsA + fetchesA); got != 27 {
+		t.Fatalf("repeat build answered %v points from the cache tier, want 27", got)
+	}
+	sameModelData(t, srv, "cache-a", "cache-b")
+
+	// The typed cache view agrees with the metrics and shows the shard map.
+	resp, body := get(t, ts.URL+cluster.PathCache)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache view: %d %s", resp.StatusCode, body)
+	}
+	var cs cluster.CacheStateResponse
+	unmarshal(t, body, &cs)
+	if cs.Map == nil || cs.Map.Generation < 3 || cs.Map.Shards != cluster.DefaultShards {
+		t.Fatalf("cache view shard map: %+v", cs.Map)
+	}
+	if len(cs.Workers) != len(ids) {
+		t.Fatalf("cache view has %d workers, want %d", len(cs.Workers), len(ids))
+	}
+	owned := 0
+	for _, w := range cs.Workers {
+		if w.PeerURL == "" {
+			t.Fatalf("worker %s advertises no peer URL", w.ID)
+		}
+		if w.Shards == 0 {
+			t.Fatalf("worker %s owns no shard ranges", w.ID)
+		}
+		owned += w.Shards
+	}
+	if owned != cluster.DefaultShards {
+		t.Fatalf("workers own %d slots in total, want %d", owned, cluster.DefaultShards)
+	}
+	if cs.Totals.Misses != uint64(missesB) {
+		t.Fatalf("cache view totals (%d misses) disagree with /metrics (%v)", cs.Totals.Misses, missesB)
+	}
+
+	// The cache view is a documented, spec-listed endpoint.
+	if _, body = get(t, ts.URL+"/v1/spec"); !strings.Contains(string(body), cluster.PathCache) {
+		t.Fatalf("/v1/spec does not document %s", cluster.PathCache)
+	}
+
+	srv.Shutdown(2 * time.Second)
+	for i, errc := range errcs {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("worker %s did not drain cleanly: %v", ids[i], err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %s never exited after shutdown", ids[i])
+		}
+	}
+}

@@ -274,8 +274,8 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	amp := req.Excite
 	if amp == 0 {
 		amp = req.Amp
-		if amp > 0 {
-			s.deprecateAmp(w, r, "validate")
+		if amp > 0 && !s.deprecateAmp(w, r, "validate") {
+			return
 		}
 	}
 	if amp <= 0 {
@@ -361,8 +361,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Amp > 0 && req.Excite == 0 {
-		s.deprecateAmp(w, r, "build")
+	if req.Amp > 0 && req.Excite == 0 && !s.deprecateAmp(w, r, "build") {
+		return
 	}
 	job, err := s.jobs.Submit(r.Context(), req)
 	if err != nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/apiclient"
 	"repro/internal/core"
 	"repro/internal/rsm"
 )
@@ -64,36 +66,34 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return srv, ts
 }
 
+// testAPI drives every HTTP helper through the shared typed client, so
+// the suite exercises the same wire path (request IDs, retry policy,
+// error-envelope handling) as the real CLI and worker callers. Helpers
+// hand absolute URLs to Do, which passes them through untouched.
+var testAPI = apiclient.New("", apiclient.Options{})
+
+// asResponse adapts an apiclient.Result to the *http.Response shape the
+// package's historical call sites assert against (StatusCode, Header).
+func asResponse(res *apiclient.Result) *http.Response {
+	return &http.Response{StatusCode: res.Status, Header: res.Header}
+}
+
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	t.Helper()
-	data, err := json.Marshal(body)
+	res, err := testAPI.Do(context.Background(), http.MethodPost, url, body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp, out
+	return asResponse(res), res.Body
 }
 
 func get(t *testing.T, url string) (*http.Response, []byte) {
 	t.Helper()
-	resp, err := http.Get(url)
+	res, err := testAPI.Do(context.Background(), http.MethodGet, url, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp, out
+	return asResponse(res), res.Body
 }
 
 func unmarshal(t *testing.T, data []byte, v any) {

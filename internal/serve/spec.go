@@ -66,6 +66,8 @@ func (s *Server) endpoints() []endpointSpec {
 			cluster.DeregisterRequest{}, cluster.DeregisterResponse{}, s.handleClusterDeregister},
 		{"GET", cluster.PathWorkers, "cluster_workers", "Worker fleet health: per-worker state, leases and counters.",
 			nil, cluster.WorkersResponse{}, s.handleClusterWorkers},
+		{"GET", cluster.PathCache, "cluster_cache", "Sharded cache tier: shard map, per-worker and fleet cache counters.",
+			nil, cluster.CacheStateResponse{}, s.handleClusterCache},
 	}
 }
 
@@ -112,7 +114,8 @@ type SpecResponse struct {
 
 var errorCodeDocs = []ErrorCodeView{
 	{codeInvalidRequest, "malformed body or invalid field values"},
-	{codeBadField, "request body carries a field the endpoint does not define"},
+	{codeBadField, "request body carries a field the endpoint does not define, or a retired field under strict mode"},
+	{codeProtoMismatch, "cluster protocol request speaks a different proto_version than this server"},
 	{codeNotFound, "unknown model or job"},
 	{codeConflict, "request is inconsistent with server state"},
 	{codeQueueFull, "build queue at capacity; retry later"},

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -86,8 +87,8 @@ func TestUnknownFieldRejected(t *testing.T) {
 }
 
 // TestAmpAliasDeprecationHeader: requests resolved through the legacy amp
-// field get a Deprecation response header; the stable excite spelling does
-// not.
+// field get Deprecation + Sunset response headers and bump the labelled
+// deprecated-field counter; the stable excite spelling does neither.
 func TestAmpAliasDeprecationHeader(t *testing.T) {
 	release := make(chan struct{})
 	quit := make(chan struct{})
@@ -102,12 +103,57 @@ func TestAmpAliasDeprecationHeader(t *testing.T) {
 	if resp.Header.Get("Deprecation") == "" {
 		t.Fatal("legacy amp build carries no Deprecation header")
 	}
+	if resp.Header.Get("Sunset") == "" {
+		t.Fatal("legacy amp build carries no Sunset header")
+	}
 
 	resp, body = postJSON(t, ts.URL+"/v1/build", BuildRequest{Model: "b", Horizon: 1, Excite: 0.5})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("excite build status %d: %s", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Deprecation") != "" {
-		t.Fatal("stable excite build must not carry a Deprecation header")
+	if resp.Header.Get("Deprecation") != "" || resp.Header.Get("Sunset") != "" {
+		t.Fatal("stable excite build must not carry deprecation headers")
+	}
+
+	// Exactly the one legacy request was counted, labelled by field.
+	_, body = get(t, ts.URL+"/metrics")
+	if want := `ehdoed_deprecated_field_total{field="amp"} 1`; !strings.Contains(string(body), want) {
+		t.Fatalf("/metrics misses %q", want)
+	}
+}
+
+// TestStrictAPIRejectsAmp: with -strict-api the legacy alias is no longer
+// resolved — build and validate answer 400 with the typed bad_field code,
+// while the stable spelling is untouched.
+func TestStrictAPIRejectsAmp(t *testing.T) {
+	release := make(chan struct{})
+	quit := make(chan struct{})
+	defer close(quit)
+	close(release)
+	srv, ts := newTestServer(t, Config{Problem: blockingProblem(release, quit), StrictAPI: true})
+	srv.Registry().Set("m", fixture(t))
+
+	resp, body := postJSON(t, ts.URL+"/v1/build", BuildRequest{Model: "a", Horizon: 1, Amp: 0.5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("strict legacy build status %d: %s, want 400", resp.StatusCode, body)
+	}
+	var e errorBody
+	unmarshal(t, body, &e)
+	if e.Code != codeBadField || !strings.Contains(e.Error, "amp") {
+		t.Fatalf("strict legacy build error %+v, want code %q naming the field", e, codeBadField)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/validate", ValidateRequest{Model: "m", N: 2, Amp: 0.5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("strict legacy validate status %d: %s, want 400", resp.StatusCode, body)
+	}
+	unmarshal(t, body, &e)
+	if e.Code != codeBadField {
+		t.Fatalf("strict legacy validate code %q, want %q", e.Code, codeBadField)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/build", BuildRequest{Model: "b", Horizon: 1, Excite: 0.5})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("strict excite build status %d: %s, want 202", resp.StatusCode, body)
 	}
 }

@@ -4,8 +4,10 @@
 // transients — so results are cached content-addressed by a deep
 // fingerprint of (engine name, sim.Design, sim.Config). The cache has a
 // bounded in-memory LRU tier, an optional JSON disk tier that survives
-// daemon restarts, and single-flight deduplication so concurrent identical
-// requests execute the simulation once and share the result.
+// daemon restarts, an optional Remote tier (the fleet's sharded peer
+// cache, see internal/cluster), and single-flight deduplication so
+// concurrent identical requests execute the simulation once and share the
+// result.
 package simcache
 
 import (
@@ -43,6 +45,20 @@ func (Direct) Run(_ context.Context, _ string, fn Engine, d sim.Design, cfg sim.
 	return fn(d, cfg)
 }
 
+// Remote is an optional fleet tier consulted between the disk tier and the
+// engine: internal/cluster implements it with the sharded peer-cache
+// protocol. Fetch asks the key's owner for a cached result; a false answer
+// (not found, owner down, timeout — the implementation decides and counts)
+// falls through to local simulation, so the remote tier can only save
+// work, never fail a run. Store replicates a freshly simulated result to
+// the key's owner; it is called synchronously after the engine succeeds
+// and before the result is returned, so by the time a caller observes the
+// result the owner can serve it to the rest of the fleet.
+type Remote interface {
+	Fetch(ctx context.Context, key, engine string) (*sim.Result, bool)
+	Store(ctx context.Context, key, engine string, res *sim.Result)
+}
+
 // Stats is a snapshot of cache counters.
 type Stats struct {
 	Hits        uint64 // answered from the in-memory tier
@@ -53,6 +69,7 @@ type Stats struct {
 	DiskWrites  uint64 // entries persisted to the disk tier
 	DiskCorrupt uint64 // corrupt disk entries quarantined (*.bad)
 	Bypass      uint64 // unhashable requests run directly
+	RemoteHits  uint64 // answered by the remote (peer) tier
 	Entries     int    // current in-memory entries
 }
 
@@ -88,6 +105,7 @@ type Cache struct {
 	items  map[string]*list.Element
 	flight map[string]*call
 	stats  Stats
+	rem    Remote
 }
 
 // New returns a Cache with the given options.
@@ -112,6 +130,50 @@ func (c *Cache) Stats() Stats {
 	st := c.stats
 	st.Entries = c.lru.Len()
 	return st
+}
+
+// SetRemote attaches (or with nil detaches) the fleet tier. Typically set
+// once at worker start before traffic, but safe to swap concurrently.
+func (c *Cache) SetRemote(r Remote) {
+	c.mu.Lock()
+	c.rem = r
+	c.mu.Unlock()
+}
+
+func (c *Cache) remote() Remote {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rem
+}
+
+// Lookup answers a key from the memory or disk tier without running
+// anything — the read side of the peer-cache protocol. It does not count
+// as a Hit (the caller accounts peer-served lookups separately).
+func (c *Cache) Lookup(ctx context.Context, key, engine string) (*sim.Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*entry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	res, ok := c.loadDisk(ctx, key, engine)
+	if ok {
+		c.mu.Lock()
+		c.insert(key, res)
+		c.mu.Unlock()
+	}
+	return res, ok
+}
+
+// Insert stores an externally produced result (a peer replication push)
+// into the memory and disk tiers.
+func (c *Cache) Insert(key, engine string, res *sim.Result) {
+	c.mu.Lock()
+	c.insert(key, res)
+	c.mu.Unlock()
+	c.storeDisk(key, engine, res)
 }
 
 // keyScratch is the pooled working set of one Run call's key computation:
@@ -233,8 +295,12 @@ func short(key string) string {
 	return key
 }
 
-// fill resolves a miss: disk tier first, then the engine. Called without
-// the lock held; the single-flight entry guarantees exclusivity per key.
+// fill resolves a miss: disk tier first, then the remote (peer) tier, then
+// the engine. Called without the lock held; the single-flight entry
+// guarantees exclusivity per key. A result simulated here is replicated to
+// the remote tier synchronously, before the caller observes it — the
+// ordering that makes a fleet-wide repeat of this point a peer hit rather
+// than a re-simulation.
 func (c *Cache) fill(ctx context.Context, key, engine string, fn Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
 	lg := obs.FromContext(ctx)
 	if res, ok := c.loadDisk(ctx, key, engine); ok {
@@ -243,6 +309,17 @@ func (c *Cache) fill(ctx context.Context, key, engine string, fn Engine, d sim.D
 		c.mu.Unlock()
 		lg.Debug("simcache disk hit", "key", short(key))
 		return res, nil
+	}
+	rem := c.remote()
+	if rem != nil {
+		if res, ok := rem.Fetch(ctx, key, engine); ok {
+			c.mu.Lock()
+			c.stats.RemoteHits++
+			c.mu.Unlock()
+			lg.Debug("simcache remote hit", "key", short(key))
+			c.storeDisk(key, engine, res)
+			return res, nil
+		}
 	}
 	start := time.Now()
 	res, err := fn(d, cfg)
@@ -255,6 +332,9 @@ func (c *Cache) fill(ctx context.Context, key, engine string, fn Engine, d sim.D
 	lg.Debug("simcache miss", "key", short(key), "engine", engine,
 		"sim_ms", float64(time.Since(start).Microseconds())/1e3)
 	c.storeDisk(key, engine, res)
+	if rem != nil {
+		rem.Store(ctx, key, engine, res)
+	}
 	return res, nil
 }
 
@@ -381,6 +461,7 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
 	counter("disk_writes", "Entries persisted to the disk tier.", func(s Stats) uint64 { return s.DiskWrites })
 	counter("disk_corrupt", "Corrupt disk entries quarantined.", func(s Stats) uint64 { return s.DiskCorrupt })
 	counter("bypass", "Unhashable requests run directly.", func(s Stats) uint64 { return s.Bypass })
+	counter("remote_hits", "Simulations answered by the remote (peer) tier.", func(s Stats) uint64 { return s.RemoteHits })
 	reg.GaugeFunc(prefix+"_entries", "Current in-memory cache entries.", func() float64 {
 		return float64(c.Stats().Entries)
 	})
