@@ -5,12 +5,14 @@
 // and — when given a committed baseline — fails with a non-zero exit if
 // any benchmark regressed past the tolerance band.
 //
-//	go run ./cmd/bench -out BENCH_7.json -baseline bench_baseline.json -tolerance 0.25
+//	go run ./cmd/bench -out BENCH_8.json -baseline bench_baseline.json -tolerance 0.25
 //
 // Comparisons use calibration-normalized time (see internal/benchkit), so
 // a baseline recorded on one machine remains meaningful on another. Under
 // the race detector every measurement is a different program; the harness
-// still writes a report but skips the baseline comparison.
+// still writes a report but skips the baseline comparison. -quick drops
+// the slow fleet benchmarks for CI smoke runs; the baseline comparison
+// simply skips metrics the quick report does not carry.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/la"
+	"repro/internal/node"
 	"repro/internal/rsm"
 	"repro/internal/sim"
 	"repro/internal/simcache"
@@ -43,18 +46,19 @@ var (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "report output path")
+	out := flag.String("out", "BENCH_8.json", "report output path")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty: no comparison)")
 	tolerance := flag.Float64("tolerance", 0.25, "fractional regression tolerance (0.25 = +25%)")
+	quick := flag.Bool("quick", false, "skip the slow fleet benchmarks (CI smoke mode)")
 	flag.Parse()
 
-	if err := run(*out, *baseline, *tolerance); err != nil {
+	if err := run(*out, *baseline, *tolerance, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baseline string, tolerance float64) error {
+func run(out, baseline string, tolerance float64, quick bool) error {
 	r := benchkit.NewReport()
 	fmt.Printf("calibration: %.0f ns/op\n", r.CalibrationNs)
 
@@ -101,6 +105,51 @@ func run(out, baseline string, tolerance float64) error {
 	// Both rescaled to ns per simulated second before forming the ratio.
 	if fastNs := float64(fast.NsPerOp()); fastNs > 0 {
 		r.SetSpeedup("fast_vs_reference", float64(ref.NsPerOp())/refHorizon/fastNs)
+	}
+
+	// --- batch engine vs sequential fast -----------------------------------
+	// The tentpole workload: K tuned design points sharing one harvester
+	// (so they land in one model group) under a stepped excitation that
+	// forces retunes, stepped in lockstep by RunBatch vs one by one with
+	// RunFast. batch_Kv1 is the whole-build wall-time ratio.
+	const batchLanes = 16
+	bbase := d
+	bbase.InitialStoreV = 3.5
+	btc := tuner.DefaultConfig()
+	btc.Interval = 1
+	btc.EstimatorWin = 0.5
+	btc.ActuatorSpeed = 2e-3
+	bbase.Tuner = &btc
+	stepped, err := vibration.NewSteppedSine(0.6, []vibration.FreqStep{
+		{At: 0, Freq: 70}, {At: 4, Freq: 50}, {At: 8, Freq: 70},
+	})
+	if err != nil {
+		return fmt.Errorf("building stepped source: %w", err)
+	}
+	bcfg := sim.Config{Horizon: 12, Source: stepped}
+	designs := batchVariants(bbase, batchLanes)
+	seq := measure(r, "sim/RunFastSeq16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, bd := range designs {
+				res, err := sim.RunFast(bd, bcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkResult = res
+			}
+		}
+	})
+	batch := measure(r, "sim/RunBatch16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results, err := sim.RunBatch(designs, bcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkResult = results[0]
+		}
+	})
+	if batchNs := float64(batch.NsPerOp()); batchNs > 0 {
+		r.SetSpeedup("batch_Kv1", float64(seq.NsPerOp())/batchNs)
 	}
 
 	// --- linear-algebra kernels --------------------------------------------
@@ -169,7 +218,9 @@ func run(out, baseline string, tolerance float64) error {
 	}
 
 	// --- distributed fleet scaling (see cluster.go) -------------------------
-	if err := benchClusterScaling(r); err != nil {
+	if quick {
+		fmt.Println("quick mode: skipping fleet benchmarks")
+	} else if err := benchClusterScaling(r); err != nil {
 		return err
 	}
 
@@ -214,6 +265,23 @@ func measure(r *benchkit.Report, name string, fn func(*testing.B)) testing.Bench
 	br := testing.Benchmark(fn)
 	r.Add(name, br)
 	return br
+}
+
+// batchVariants derives k design points from base that differ only on the
+// slow side (reporting period, threshold, initial charge) — the shape of a
+// real DoE sweep over node parameters: every lane shares the harvester's
+// model group while tracing a distinct trajectory. Initial charge stays
+// above the tuner's MinStoreV so tuning is live in every lane.
+func batchVariants(base sim.Design, k int) []sim.Design {
+	designs := make([]sim.Design, k)
+	for i := range designs {
+		bd := base
+		bd.Node.Period = base.Node.Period + 0.5*float64(i)
+		bd.Policy = node.ThresholdPolicy{VThreshold: 3.0 + 0.05*float64(i%3)}
+		bd.InitialStoreV = base.InitialStoreV - 0.05*float64(i%2)
+		designs[i] = bd
+	}
+	return designs
 }
 
 // fitSurfaces builds the saved response surfaces the prediction benchmark

@@ -85,9 +85,9 @@ func TestReadWaveformCSVNonFinite(t *testing.T) {
 func TestReplaySourceInterpolates(t *testing.T) {
 	src := newReplaySource([]float64{0, 1, 2}, []float64{0, 2, 0})
 	for _, tc := range []struct{ t, want float64 }{
-		{-1, 0},   // held before the record
-		{0.5, 1},  // midpoint of the first segment
-		{1, 2},    // exact sample
+		{-1, 0},  // held before the record
+		{0.5, 1}, // midpoint of the first segment
+		{1, 2},   // exact sample
 		{1.75, 0.5},
 		{5, 0}, // held past the record
 	} {

@@ -132,11 +132,11 @@ func Load(path string) (*Report, error) {
 
 // Regression is one benchmark that moved past the tolerance band.
 type Regression struct {
-	Name     string  // benchmark name
-	Kind     string  // "time" or "allocs"
-	Baseline float64 // baseline measure (normalized ns or allocs/op)
+	Name     string  // benchmark or speedup name
+	Kind     string  // "time", "allocs" or "speedup"
+	Baseline float64 // baseline measure (normalized ns, allocs/op or ratio)
 	Current  float64 // current measure
-	Limit    float64 // the threshold Current exceeded
+	Limit    float64 // the threshold Current exceeded (or fell below)
 }
 
 func (v Regression) String() string {
@@ -148,9 +148,11 @@ func (v Regression) String() string {
 // benchmarks whose calibration-normalized time grew by more than tol
 // (fractional, e.g. 0.25 = +25 %), or whose allocation count grew past
 // tol plus a small absolute slack (so 0 → 1 allocs on a tiny benchmark
-// still trips, but measurement jitter on large counts does not).
-// Benchmarks present in only one report are ignored — adding or retiring
-// a benchmark must not fail CI.
+// still trips, but measurement jitter on large counts does not). Derived
+// speedups are drift-gated the other way: a ratio that FELL below
+// baseline×(1−tol) regresses — the win the baseline recorded has eroded.
+// Benchmarks and speedups present in only one report are ignored — adding
+// or retiring a metric must not fail CI.
 func Compare(baseline, current *Report, tol float64) []Regression {
 	var out []Regression
 	names := make([]string, 0, len(baseline.Benchmarks))
@@ -173,6 +175,21 @@ func Compare(baseline, current *Report, tol float64) []Regression {
 		}
 		if limit := base.AllocsPerOp*(1+tol) + 0.5; cur.AllocsPerOp > limit {
 			out = append(out, Regression{Name: name, Kind: "allocs", Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, Limit: limit})
+		}
+	}
+	var speedups []string
+	for name := range baseline.Speedups {
+		speedups = append(speedups, name)
+	}
+	sort.Strings(speedups)
+	for _, name := range speedups {
+		base := baseline.Speedups[name]
+		cur, ok := current.Speedups[name]
+		if !ok || base <= 0 {
+			continue
+		}
+		if limit := base * (1 - tol); cur < limit {
+			out = append(out, Regression{Name: name, Kind: "speedup", Baseline: base, Current: cur, Limit: limit})
 		}
 	}
 	return out

@@ -138,3 +138,32 @@ func TestLoadRejectsWrongSchema(t *testing.T) {
 		t.Fatal("wrong schema version must be rejected")
 	}
 }
+
+func TestCompareFlagsSpeedupRegression(t *testing.T) {
+	base := report(100, nil)
+	base.Speedups = map[string]float64{"batch_Kv1": 4.0, "fast_vs_reference": 50}
+	cur := report(100, nil)
+	cur.Speedups = map[string]float64{"batch_Kv1": 2.5, "fast_vs_reference": 49} // -37% vs -2%
+	regs := Compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Kind != "speedup" || regs[0].Name != "batch_Kv1" {
+		t.Fatalf("want one speedup regression, got %v", regs)
+	}
+	if regs[0].Baseline != 4.0 || regs[0].Current != 2.5 {
+		t.Fatalf("regression values wrong: %+v", regs[0])
+	}
+}
+
+func TestCompareSpeedupWithinToleranceAndDisjoint(t *testing.T) {
+	base := report(100, nil)
+	base.Speedups = map[string]float64{"batch_Kv1": 4.0, "retired": 9}
+	cur := report(100, nil)
+	cur.Speedups = map[string]float64{"batch_Kv1": 3.2, "brand_new": 2} // -20% < 25%
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance and disjoint speedups must pass, got %v", regs)
+	}
+	// A higher ratio is never a regression.
+	cur.Speedups["batch_Kv1"] = 8
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("improved speedup must pass, got %v", regs)
+	}
+}

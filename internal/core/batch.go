@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// EngineBatch selects the lockstep K-point engine (sim.RunBatch) for
+// design runs. Batch results are bit-identical per lane to EngineFast, so
+// they share the fast engine's cache identity — see cacheEngineName.
+const EngineBatch = "batch"
+
+// cacheEngineName maps an engine selection to its content-address. The
+// batch engine is an execution strategy, not a different simulator: its
+// lanes are bit-identical to sim.RunFast, so its results are cached under
+// the fast engine's name and the two populations of cache entries alias
+// deliberately.
+func cacheEngineName(name string) string {
+	if name == EngineBatch {
+		return EngineFast
+	}
+	return name
+}
+
+// BatchStats summarizes what the batch scheduler did for one design run.
+type BatchStats struct {
+	Points            int `json:"points"`            // design points considered
+	Peeled            int `json:"cache_peeled"`      // answered by the cache before lanes launched
+	Lanes             int `json:"lanes"`             // points simulated inside batches
+	Chunks            int `json:"chunks"`            // sim.RunBatch invocations
+	Rebuilds          int `json:"rebuilds"`          // ZOH bakes actually performed
+	AmortizedRebuilds int `json:"rebuild_amortized"` // lane rebuilds answered by a shared bake
+}
+
+// maxBatchLanes caps one chunk's width. Wider batches amortize more but
+// lose cancellation granularity (a chunk is abandoned whole on timeout)
+// and overflow the benefit of the shared memo; 16 matches the kernel's
+// sweet spot on current hardware.
+const maxBatchLanes = 16
+
+// cacheLookup and cacheInsert are the optional capabilities of a Runner
+// the prepass uses to peel already-cached points out of a batch and to
+// publish freshly batched results. *simcache.Cache implements both; a
+// fault-injecting or otherwise opaque Runner implements neither, in which
+// case the prepass neither peels nor publishes and every point flows
+// through the runner as usual.
+type cacheLookup interface {
+	Lookup(ctx context.Context, key, engine string) (*sim.Result, bool)
+}
+type cacheInsert interface {
+	Insert(key, engine string, res *sim.Result)
+}
+
+// prepassRunner serves results warmed by a batch prepass and delegates
+// everything else — cache misses, retries of points whose lane failed —
+// to the underlying runner unchanged, so the PR 4 retry/timeout/abort
+// semantics of the per-point path apply verbatim.
+type prepassRunner struct {
+	under simcache.Runner
+
+	mu      sync.Mutex
+	results map[string]*sim.Result
+}
+
+func (r *prepassRunner) Run(ctx context.Context, engine string, fn simcache.Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	if key, err := simcache.Fingerprint(engine, d, cfg); err == nil {
+		r.mu.Lock()
+		res := r.results[key]
+		r.mu.Unlock()
+		if res != nil {
+			return res, nil
+		}
+	}
+	return r.under.Run(ctx, engine, fn, d, cfg)
+}
+
+// batchPoint is one design point resolved to its concrete simulation
+// request plus its cache key.
+type batchPoint struct {
+	key string
+	d   sim.Design
+	cfg sim.Config
+}
+
+// PrewarmBatch runs the batch prepass for a set of coded design points:
+// it resolves each point to its concrete (design, config) request, peels
+// the ones the cache already holds, partitions the rest into K-lane
+// chunks grouped by identical config (lanes must share the time base and
+// excitation), and steps each chunk through sim.RunBatchStats. The
+// returned Problem copy answers those points from the warmed results;
+// every point the prepass could not handle — build errors, lane errors,
+// unfingerprintable requests, a custom Engine — falls through to the
+// underlying runner with full per-point retry/timeout semantics.
+//
+// The prepass is strictly best-effort: it can only pre-pay work the
+// per-point path would do anyway, never fail a run on its own.
+func (p *Problem) PrewarmBatch(ctx context.Context, points [][]float64, workers int) (*Problem, *BatchStats) {
+	stats := &BatchStats{Points: len(points)}
+	if p.Engine != nil {
+		// A custom engine is not sim.RunFast; batching would change results.
+		return p, stats
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lg := obs.FromContext(ctx)
+	runner := p.Runner
+	if runner == nil {
+		runner = DefaultRunner
+	}
+	warmed := &prepassRunner{under: runner, results: make(map[string]*sim.Result)}
+
+	// Resolve points, dedup by cache key, and peel what the cache holds.
+	lookup, _ := runner.(cacheLookup)
+	insert, _ := runner.(cacheInsert)
+	seen := make(map[string]bool, len(points))
+	byCfg := make(map[string][]batchPoint)
+	for _, coded := range points {
+		natural, err := doe.DecodeRun(p.Factors, coded)
+		if err != nil {
+			continue
+		}
+		sc, err := p.Build(natural)
+		if err != nil {
+			continue
+		}
+		cfg := sim.Config{Horizon: p.Horizon, DtSlow: p.DtSlow, Source: sc.Source}
+		key, err := simcache.Fingerprint(EngineFast, sc.Design, cfg)
+		if err != nil {
+			continue // uncacheable request: leave it to the direct path
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if lookup != nil {
+			if res, ok := lookup.Lookup(ctx, key, EngineFast); ok {
+				warmed.results[key] = res
+				stats.Peeled++
+				continue
+			}
+		}
+		cfgKey, err := simcache.Fingerprint(cfg)
+		if err != nil {
+			continue
+		}
+		byCfg[cfgKey] = append(byCfg[cfgKey], batchPoint{key: key, d: sc.Design, cfg: cfg})
+	}
+
+	// Deterministic chunking: sorted config groups, stable point order
+	// within each, chunk width balancing lane occupancy against workers.
+	cfgKeys := make([]string, 0, len(byCfg))
+	total := 0
+	for k, pts := range byCfg {
+		cfgKeys = append(cfgKeys, k)
+		total += len(pts)
+	}
+	sort.Strings(cfgKeys)
+	if total == 0 {
+		pp := *p
+		pp.Runner = warmed
+		return &pp, stats
+	}
+	width := (total + workers - 1) / workers
+	if width < 1 {
+		width = 1
+	}
+	if width > maxBatchLanes {
+		width = maxBatchLanes
+	}
+	type chunk struct {
+		pts []batchPoint
+		cfg sim.Config
+	}
+	var chunks []chunk
+	for _, ck := range cfgKeys {
+		pts := byCfg[ck]
+		for len(pts) > 0 {
+			n := width
+			if n > len(pts) {
+				n = len(pts)
+			}
+			chunks = append(chunks, chunk{pts: pts[:n], cfg: pts[0].cfg})
+			pts = pts[n:]
+		}
+	}
+	stats.Chunks = len(chunks)
+
+	// Run chunks across the worker pool. Each chunk is guarded the way the
+	// per-point path guards a run: panics are contained (the points simply
+	// fall through to the sequential path, whose own guard converts a
+	// repeat panic into a typed error), and when the problem carries a
+	// per-run deadline the chunk gets lanes×RunTimeout before it is
+	// abandoned — mirroring runAttempt, the goroutine of an abandoned
+	// chunk is left to finish in the background and its results discarded.
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		next     int
+		parallel = workers
+	)
+	if parallel > len(chunks) {
+		parallel = len(chunks)
+	}
+	runChunk := func(c chunk) (results []*sim.Result, bs sim.BatchStats, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: batch chunk panicked: %v", r)
+			}
+		}()
+		designs := make([]sim.Design, len(c.pts))
+		for i, pt := range c.pts {
+			designs[i] = pt.d
+		}
+		results, bs, _ = sim.RunBatchStats(designs, c.cfg)
+		return results, bs, nil
+	}
+	execChunk := func(c chunk) {
+		type out struct {
+			results []*sim.Result
+			bs      sim.BatchStats
+			err     error
+		}
+		ch := make(chan out, 1)
+		go func() {
+			results, bs, err := runChunk(c)
+			ch <- out{results, bs, err}
+		}()
+		var deadline <-chan time.Time
+		if p.RunTimeout > 0 {
+			tm := time.NewTimer(time.Duration(len(c.pts)) * p.RunTimeout)
+			defer tm.Stop()
+			deadline = tm.C
+		}
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				lg.Warn("batch chunk failed", "lanes", len(c.pts), "err", o.err.Error())
+				return
+			}
+			mu.Lock()
+			stats.Lanes += len(c.pts)
+			stats.Rebuilds += o.bs.Rebuilds
+			stats.AmortizedRebuilds += o.bs.AmortizedRebuilds
+			for i, res := range o.results {
+				if res == nil {
+					continue // lane error: the point retries sequentially
+				}
+				warmed.results[c.pts[i].key] = res
+			}
+			mu.Unlock()
+			if insert != nil {
+				for i, res := range o.results {
+					if res != nil {
+						insert.Insert(c.pts[i].key, EngineFast, res)
+					}
+				}
+			}
+		case <-deadline:
+			lg.Warn("batch chunk abandoned past deadline", "lanes", len(c.pts))
+		case <-ctx.Done():
+		}
+	}
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(chunks) {
+					return
+				}
+				execChunk(chunks[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	lg.Debug("batch prepass finished", "points", stats.Points, "peeled", stats.Peeled,
+		"lanes", stats.Lanes, "chunks", stats.Chunks,
+		"rebuilds", stats.Rebuilds, "amortized", stats.AmortizedRebuilds)
+	pp := *p
+	pp.Runner = warmed
+	return &pp, stats
+}

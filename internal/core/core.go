@@ -175,7 +175,7 @@ func (p *Problem) engineName() string {
 // (internal/obs) down into the runner. Results may be served from the
 // cache and must be treated as immutable by callers.
 func (p *Problem) runSim(ctx context.Context, d sim.Design, cfg sim.Config) (*sim.Result, error) {
-	name := p.engineName()
+	name := cacheEngineName(p.engineName())
 	if name == "" {
 		return p.engine()(d, cfg)
 	}
@@ -251,6 +251,9 @@ type Dataset struct {
 	// failures, and engine panics recovered into errors.
 	Retries         int
 	PanicsRecovered int
+	// Batch carries the batch scheduler's statistics when the run used
+	// EngineBatch; nil otherwise.
+	Batch *BatchStats
 }
 
 // Speedup returns the achieved parallel speedup SimWork/SimTime

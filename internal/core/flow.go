@@ -50,6 +50,17 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	lg := obs.FromContext(ctx)
 	lg.Info("design run started", "design", d.Name, "runs", d.N(), "workers", workers)
 	start := time.Now()
+	// Batch scheduler: under EngineBatch, a lockstep prepass simulates the
+	// design's unique uncached points K lanes at a time (bit-identical to
+	// the fast engine — see sim.RunBatch) and the per-point loop below then
+	// drains from the warmed results. Points the prepass could not settle
+	// fall through to the runner with unchanged retry/timeout/cancellation
+	// semantics, so the batch engine only changes where the work happens.
+	runp := p
+	var batch *BatchStats
+	if p.engineName() == EngineBatch {
+		runp, batch = p.PrewarmBatch(ctx, d.Runs, workers)
+	}
 	// next hands out run indices; abort stops the handout early. Results
 	// land in a pre-sized slice (one slot per run, no index collisions),
 	// so the only shared state needing a lock is the error and the
@@ -101,7 +112,7 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 					return
 				}
 				runStart := time.Now()
-				resp, st, err := p.runWithRetry(ctx, i, d.Runs[i])
+				resp, st, err := runp.runWithRetry(ctx, i, d.Runs[i])
 				runDur := time.Since(runStart)
 				work.Add(int64(runDur))
 				retries.Add(int64(st.retries))
@@ -131,6 +142,7 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 			SimWork:         time.Duration(work.Load()),
 			Retries:         int(retries.Load()),
 			PanicsRecovered: int(panics.Load()),
+			Batch:           batch,
 		}, err
 	}
 	ds := &Dataset{Design: d, Y: make(map[ResponseID][]float64, len(p.Responses))}
@@ -145,6 +157,7 @@ func (p *Problem) RunDesignContext(ctx context.Context, d *doe.Design, workers i
 	ds.SimWork = time.Duration(work.Load())
 	ds.Retries = int(retries.Load())
 	ds.PanicsRecovered = int(panics.Load())
+	ds.Batch = batch
 	lg.Info("design run finished", "design", d.Name, "runs", d.N(),
 		"sim_ms", float64(ds.SimTime.Microseconds())/1e3,
 		"work_ms", float64(ds.SimWork.Microseconds())/1e3,

@@ -152,6 +152,14 @@ func (p *Problem) guardedResponses(ctx context.Context, i int, coded []float64) 
 // The simulator is not preemptible, so on deadline the attempt goroutine
 // is abandoned (it finishes in the background and is discarded) and the
 // worker moves on instead of being pinned by a hung run.
+//
+// Deadline semantics — identical for the local pool (RunDesignContext)
+// and the cluster pool (workers entering through RunPoint), which share
+// this code path: each attempt gets a fresh RunTimeout budget, and the
+// backoff sleeps between attempts (runWithRetry) run on the parent
+// context, so they are charged against neither pool's per-run deadline.
+// A deadline expiry always surfaces as a retryable *RunTimeoutError, no
+// matter which side of the race below observes it first.
 func (p *Problem) runAttempt(ctx context.Context, i int, coded []float64) (map[ResponseID]float64, error) {
 	if p.RunTimeout <= 0 {
 		return p.guardedResponses(ctx, i, coded)
@@ -169,6 +177,9 @@ func (p *Problem) runAttempt(ctx context.Context, i int, coded []float64) (map[R
 	}()
 	select {
 	case o := <-ch:
+		if err := p.normalizeDeadlineErr(ctx, tctx, i, o.err); err != o.err {
+			return nil, err
+		}
 		return o.resp, o.err
 	case <-tctx.Done():
 		if ctx.Err() != nil {
@@ -178,6 +189,30 @@ func (p *Problem) runAttempt(ctx context.Context, i int, coded []float64) (map[R
 			"run", i, "deadline_ms", float64(p.RunTimeout.Microseconds())/1e3)
 		return nil, &RunTimeoutError{Run: i, Timeout: p.RunTimeout}
 	}
+}
+
+// normalizeDeadlineErr unifies the two ways a per-attempt deadline can
+// surface. A cancellation-aware runner (the cache's single-flight wait,
+// the cluster peer client) may notice tctx's expiry itself and return an
+// error wrapping context.DeadlineExceeded through the result channel,
+// racing runAttempt's own tctx.Done branch; which side wins is scheduler
+// luck, so both must yield the same semantics — the retryable
+// *RunTimeoutError. An error is normalized only when it is actually
+// deadline-caused (wraps DeadlineExceeded while tctx is expired), the
+// parent context is still live (a parent abort stays an abort), and it is
+// not already typed. Everything else passes through unchanged.
+func (p *Problem) normalizeDeadlineErr(ctx, tctx context.Context, i int, err error) error {
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) ||
+		tctx.Err() == nil || ctx.Err() != nil {
+		return err
+	}
+	var terr *RunTimeoutError
+	if errors.As(err, &terr) {
+		return err
+	}
+	obs.FromContext(ctx).Warn("sim run abandoned past deadline",
+		"run", i, "deadline_ms", float64(p.RunTimeout.Microseconds())/1e3)
+	return &RunTimeoutError{Run: i, Timeout: p.RunTimeout}
 }
 
 // runFaultStats counts the attempts and recovery events of one run.

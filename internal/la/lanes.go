@@ -1,0 +1,34 @@
+package la
+
+// StepLanes3 advances the 3-state update y ← Ad·y + Bd·u for every lane in
+// [from, to) over structure-of-arrays state slices. All lanes in the range
+// share the same baked matrices (ad, flat 3×3 row-major) and input channel
+// (bd, flat 3×2 row-major; u the scalar input on channel 0, channel 1 the
+// implicit constant 1).
+//
+// Bit-exactness contract: each lane's arithmetic must match the scalar
+// per-lane form
+//
+//	o0 = ad[0]*y0 + ad[1]*y1 + ad[2]*y2 + bd[0]*u + bd[1]
+//
+// exactly. Only the lane-invariant *products* bd[0]*u, bd[2]*u, bd[4]*u are
+// hoisted out of the loop — multiplication is a single rounding step, so
+// hoisting it cannot change any lane's result. The sums are NOT refolded
+// (e.g. bd[0]*u+bd[1] is not pre-added): that would replace two rounding
+// steps at the end of the left-associative chain with a different tree and
+// break bit-identity with the scalar engine.
+func StepLanes3(ad *[9]float64, bd *[6]float64, u float64, y0, y1, y2 []float64, from, to int) {
+	a00, a01, a02 := ad[0], ad[1], ad[2]
+	a10, a11, a12 := ad[3], ad[4], ad[5]
+	a20, a21, a22 := ad[6], ad[7], ad[8]
+	u0, c0 := bd[0]*u, bd[1]
+	u1, c1 := bd[2]*u, bd[3]
+	u2, c2 := bd[4]*u, bd[5]
+	y0, y1, y2 = y0[from:to], y1[from:to], y2[from:to]
+	for j := range y0 {
+		s0, s1, s2 := y0[j], y1[j], y2[j]
+		y0[j] = a00*s0 + a01*s1 + a02*s2 + u0 + c0
+		y1[j] = a10*s0 + a11*s1 + a12*s2 + u1 + c1
+		y2[j] = a20*s0 + a21*s1 + a22*s2 + u2 + c2
+	}
+}

@@ -1,0 +1,95 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarStep3 is the reference per-lane update the batch kernel must match
+// bit for bit — the exact expression sim's fastModel.step evaluates.
+func scalarStep3(ad *[9]float64, bd *[6]float64, u float64, y *[3]float64) {
+	y0, y1, y2 := y[0], y[1], y[2]
+	y[0] = ad[0]*y0 + ad[1]*y1 + ad[2]*y2 + bd[0]*u + bd[1]
+	y[1] = ad[3]*y0 + ad[4]*y1 + ad[5]*y2 + bd[2]*u + bd[3]
+	y[2] = ad[6]*y0 + ad[7]*y1 + ad[8]*y2 + bd[4]*u + bd[5]
+}
+
+func TestStepLanes3MatchesScalarBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const lanes = 17
+	var ad [9]float64
+	var bd [6]float64
+	for i := range ad {
+		ad[i] = rng.NormFloat64()
+	}
+	for i := range bd {
+		bd[i] = rng.NormFloat64()
+	}
+	y0 := make([]float64, lanes)
+	y1 := make([]float64, lanes)
+	y2 := make([]float64, lanes)
+	want := make([][3]float64, lanes)
+	for j := 0; j < lanes; j++ {
+		y0[j], y1[j], y2[j] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		want[j] = [3]float64{y0[j], y1[j], y2[j]}
+	}
+	for step := 0; step < 50; step++ {
+		u := rng.NormFloat64()
+		// Step a strict sub-range too: partial runs must leave lanes
+		// outside [from, to) untouched.
+		from, to := 0, lanes
+		if step%3 == 1 {
+			from, to = 2, lanes-3
+		}
+		StepLanes3(&ad, &bd, u, y0, y1, y2, from, to)
+		for j := from; j < to; j++ {
+			scalarStep3(&ad, &bd, u, &want[j])
+		}
+		for j := 0; j < lanes; j++ {
+			if math.Float64bits(y0[j]) != math.Float64bits(want[j][0]) ||
+				math.Float64bits(y1[j]) != math.Float64bits(want[j][1]) ||
+				math.Float64bits(y2[j]) != math.Float64bits(want[j][2]) {
+				t.Fatalf("step %d lane %d: batch (%v,%v,%v) != scalar %v",
+					step, j, y0[j], y1[j], y2[j], want[j])
+			}
+		}
+	}
+}
+
+func TestStepLanes3ZeroAllocs(t *testing.T) {
+	var ad [9]float64
+	var bd [6]float64
+	for i := range ad {
+		ad[i] = 0.1 * float64(i)
+	}
+	y0 := make([]float64, 8)
+	y1 := make([]float64, 8)
+	y2 := make([]float64, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		StepLanes3(&ad, &bd, 0.5, y0, y1, y2, 0, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("StepLanes3 allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkStepLanes3x16(b *testing.B) {
+	var ad [9]float64
+	var bd [6]float64
+	for i := range ad {
+		ad[i] = 0.01 * float64(i%5)
+	}
+	ad[0], ad[4], ad[8] = 0.99, 0.99, 0.99 // keep the iteration stable
+	const lanes = 16
+	y0 := make([]float64, lanes)
+	y1 := make([]float64, lanes)
+	y2 := make([]float64, lanes)
+	for j := 0; j < lanes; j++ {
+		y0[j] = float64(j) * 1e-3
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StepLanes3(&ad, &bd, 0.6, y0, y1, y2, 0, lanes)
+	}
+}

@@ -12,6 +12,8 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -173,6 +175,11 @@ type ValidateRequest struct {
 	Amp     float64 `json:"amp,omitempty" spec:"deprecated"`
 	Excite  float64 `json:"excite,omitempty"`
 	Horizon float64 `json:"horizon_s,omitempty"`
+	// Engine selects the simulation engine for the confirming runs:
+	// "fast" (default), "batch" (lockstep lanes, bit-identical to fast)
+	// or "reference" (the dense-step oracle). Unknown values are rejected
+	// with code bad_field.
+	Engine string `json:"engine,omitempty"`
 }
 
 // ValidateRow is the accuracy summary of one response.
@@ -184,9 +191,11 @@ type ValidateRow struct {
 
 // ValidateResponse reports per-response surface accuracy at the fresh
 // points, plus the simulation cost that buying this confirmation took.
+// Engine echoes the engine that actually ran the confirming simulations.
 type ValidateResponse struct {
 	Model     string        `json:"model"`
 	N         int           `json:"n"`
+	Engine    string        `json:"engine"`
 	Rows      []ValidateRow `json:"rows"`
 	SimMillis float64       `json:"sim_ms"`
 }
@@ -209,6 +218,11 @@ type BuildRequest struct {
 	// in-process worker pool sized by Workers, "cluster" shards the points
 	// across the registered simnode worker fleet.
 	Pool string `json:"pool,omitempty"`
+	// Engine selects the simulation engine for the build's design runs:
+	// "fast" (default), "batch" (the lockstep K-lane scheduler, bit-
+	// identical to fast) or "reference". The cluster pool only speaks the
+	// fast engine. Unknown values are rejected with code bad_field.
+	Engine string `json:"engine,omitempty"`
 	// TimeoutS bounds the whole build in seconds; 0 means the server
 	// default, and the server's configured maximum always caps it.
 	TimeoutS float64 `json:"timeout_s,omitempty"`
@@ -219,6 +233,31 @@ const (
 	PoolLocal   = "local"
 	PoolCluster = "cluster"
 )
+
+// Values of BuildRequest.Engine and ValidateRequest.Engine, mirroring the
+// engine names internal/core understands.
+const (
+	EngineFast      = core.EngineFast
+	EngineBatch     = core.EngineBatch
+	EngineReference = core.EngineReference
+)
+
+// errBadEngine marks a request whose engine field names no known engine.
+// The HTTP layer maps it to code bad_field — the same class as an unknown
+// JSON field, since both are contract violations a client must fix.
+var errBadEngine = errors.New("serve: unknown engine")
+
+// normalizeEngine validates an engine selection and resolves the default.
+func normalizeEngine(engine string) (string, error) {
+	switch engine {
+	case "":
+		return EngineFast, nil
+	case EngineFast, EngineBatch, EngineReference:
+		return engine, nil
+	}
+	return "", fmt.Errorf("%w %q (want %q, %q or %q)",
+		errBadEngine, engine, EngineFast, EngineBatch, EngineReference)
+}
 
 // JobView is the JSON snapshot of a build job. TraceID is the request ID
 // of the /v1/build call that enqueued it — the same ID threads the access
@@ -235,6 +274,7 @@ type JobView struct {
 	Seed       int64              `json:"seed"`
 	Workers    int                `json:"workers,omitempty"`
 	Pool       string             `json:"pool,omitempty"`
+	Engine     string             `json:"engine,omitempty"`
 	TimeoutS   float64            `json:"timeout_s,omitempty"`
 	Error      string             `json:"error,omitempty"`
 	ErrorCode  string             `json:"error_code,omitempty"`
@@ -249,6 +289,9 @@ type JobView struct {
 	// ones.
 	Retries         int `json:"retries,omitempty"`
 	PanicsRecovered int `json:"panics_recovered,omitempty"`
+	// Batch carries the batch scheduler's statistics (lanes, cache peels,
+	// amortized rebuilds) when the build ran under the batch engine.
+	Batch *core.BatchStats `json:"batch,omitempty"`
 }
 
 // JobsResponse is a page of job snapshots. NextAfter, when set, is the

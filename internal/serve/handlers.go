@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/opt"
+	"repro/internal/sim"
 )
 
 func (s *Server) handleModelsList(w http.ResponseWriter, r *http.Request) {
@@ -285,7 +286,19 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if horizon == 0 {
 		horizon = ss.Horizon
 	}
+	engine, err := normalizeEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadField, "%v", err)
+		return
+	}
 	p := s.problem(amp, horizon)
+	switch engine {
+	case EngineBatch:
+		p.EngineName = core.EngineBatch
+	case EngineReference:
+		p.Engine = sim.RunReference
+		p.EngineName = core.EngineReference
+	}
 	if len(p.Factors) != len(ss.Factors) {
 		writeError(w, http.StatusConflict, codeConflict,
 			"model has %d factors but the server problem has %d — validate applies only to models of the served problem",
@@ -307,6 +320,20 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rng := rand.New(rand.NewSource(req.Seed))
+	points := make([][]float64, n)
+	for i := range points {
+		x := make([]float64, len(ss.Factors))
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		points[i] = x
+	}
+	// The batch engine pre-simulates the fresh points in lockstep lanes;
+	// the per-point loop below then drains from the warmed results, with
+	// unchanged semantics for any point the prepass could not settle.
+	if engine == EngineBatch {
+		p, _ = p.PrewarmBatch(r.Context(), points, 0)
+	}
 	sums := make(map[core.ResponseID]float64, len(ids))
 	maxs := make(map[core.ResponseID]float64, len(ids))
 	start := time.Now()
@@ -315,10 +342,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusClientClosedRequest, codeClientClosed, "validation aborted: %v", err)
 			return
 		}
-		x := make([]float64, len(ss.Factors))
-		for j := range x {
-			x[j] = rng.Float64()*2 - 1
-		}
+		x := points[i]
 		sim, err := p.ResponsesAtContext(r.Context(), x)
 		if err != nil {
 			var nerr *core.NumericError
@@ -342,7 +366,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	resp := ValidateResponse{Model: req.Model, N: n, SimMillis: float64(time.Since(start).Microseconds()) / 1e3}
+	resp := ValidateResponse{Model: req.Model, N: n, Engine: engine, SimMillis: float64(time.Since(start).Microseconds()) / 1e3}
 	for _, id := range ids {
 		resp.Rows = append(resp.Rows, ValidateRow{
 			Response:   string(id),
@@ -367,6 +391,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Submit(r.Context(), req)
 	if err != nil {
 		switch {
+		case errors.Is(err, errBadEngine):
+			writeError(w, http.StatusBadRequest, codeBadField, "%v", err)
 		case errors.Is(err, ErrQueueFull):
 			writeError(w, http.StatusServiceUnavailable, codeQueueFull, "%v", err)
 		case errors.Is(err, ErrShuttingDown):

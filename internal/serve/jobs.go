@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rsm"
+	"repro/internal/sim"
 )
 
 // JobState is the lifecycle of a build job.
@@ -43,8 +44,9 @@ type Job struct {
 	SimTime  time.Duration
 	Speedup  float64
 	R2       map[string]float64
-	Retries  int // design-run attempts retried after transient faults
-	Panics   int // simulation panics recovered into errors
+	Retries  int              // design-run attempts retried after transient faults
+	Panics   int              // simulation panics recovered into errors
+	Batch    *core.BatchStats // batch-scheduler stats when the batch engine ran
 }
 
 // view renders a snapshot; callers must hold the manager lock.
@@ -61,6 +63,8 @@ func (j *Job) view() JobView {
 		Seed:       j.Req.Seed,
 		Workers:    j.Req.Workers,
 		Pool:       j.Req.Pool,
+		Engine:     j.Req.Engine,
+		Batch:      j.Batch,
 		Error:      j.Error,
 		ErrorCode:  j.Code,
 		EnqueuedAt: stamp(j.Enqueued),
@@ -115,6 +119,10 @@ type JobManagerConfig struct {
 	// Cluster, when set, executes builds that request pool "cluster" by
 	// sharding the design points across the registered worker fleet.
 	Cluster *cluster.Coordinator
+	// BatchLanes and BatchAmortized, when set, accumulate the batch
+	// scheduler's lane and amortized-rebuild counts from finished builds.
+	BatchLanes     *obs.Counter
+	BatchAmortized *obs.Counter
 }
 
 // JobManager owns a bounded queue of build jobs and a single build worker:
@@ -130,6 +138,8 @@ type JobManager struct {
 	jobTimeout time.Duration
 	faults     *obs.FaultStats
 	cluster    *cluster.Coordinator
+	batchLanes *obs.Counter
+	batchAmort *obs.Counter
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -166,6 +176,8 @@ func NewJobManager(cfg JobManagerConfig) *JobManager {
 		jobTimeout: cfg.JobTimeout,
 		faults:     cfg.Faults,
 		cluster:    cfg.Cluster,
+		batchLanes: cfg.BatchLanes,
+		batchAmort: cfg.BatchAmortized,
 		ctx:        ctx,
 		cancel:     cancel,
 		jobs:       make(map[string]*Job),
@@ -205,6 +217,13 @@ func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, err
 	if req.Amp <= 0 {
 		req.Amp = 0.6
 	}
+	// Engine resolves to its explicit spelling up front, so job snapshots
+	// always report the engine that actually runs the build.
+	engine, err := normalizeEngine(req.Engine)
+	if err != nil {
+		return JobView{}, err
+	}
+	req.Engine = engine
 	// Pool picks the execution fabric; fail fast when the cluster pool is
 	// requested but cannot possibly serve the build.
 	switch req.Pool {
@@ -212,6 +231,11 @@ func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, err
 	case PoolCluster:
 		if m.cluster == nil {
 			return JobView{}, fmt.Errorf("serve: pool %q: this server has no cluster coordinator", req.Pool)
+		}
+		if req.Engine != EngineFast {
+			// The worker fleet runs the fast engine only; a silent engine
+			// switch would misreport what was simulated.
+			return JobView{}, fmt.Errorf("serve: pool %q only runs engine %q, not %q", req.Pool, EngineFast, req.Engine)
 		}
 		if m.cluster.LiveWorkers() == 0 {
 			return JobView{}, fmt.Errorf("serve: pool %q: %w", req.Pool, cluster.ErrNoWorkers)
@@ -405,6 +429,17 @@ func (m *JobManager) run(j *Job) {
 	}
 
 	p := m.problem(j.Req.Amp, j.Req.Horizon)
+	// Engine selection: the batch engine is a scheduling strategy on top of
+	// the fast engine (bit-identical lanes), the reference engine swaps the
+	// simulator itself. Submit already resolved the default and rejected
+	// unknown values.
+	switch j.Req.Engine {
+	case EngineBatch:
+		p.EngineName = core.EngineBatch
+	case EngineReference:
+		p.Engine = sim.RunReference
+		p.EngineName = core.EngineReference
+	}
 	k := len(p.Factors)
 	design, err := core.NamedDesign(j.Req.Design, k, j.Req.Runs, j.Req.Seed)
 	if err != nil {
@@ -437,12 +472,21 @@ func (m *JobManager) run(j *Job) {
 		ds, err = p.RunDesignContext(ctx, design, j.Req.Workers)
 	}
 	if ds != nil {
-		// Even a failed build carries its fault-recovery stats.
+		// Even a failed build carries its fault-recovery and batch stats.
 		m.mu.Lock()
 		j.Retries = ds.Retries
 		j.Panics = ds.PanicsRecovered
 		j.SimTime = ds.SimTime
+		j.Batch = ds.Batch
 		m.mu.Unlock()
+		if ds.Batch != nil {
+			if m.batchLanes != nil {
+				m.batchLanes.Add(uint64(ds.Batch.Lanes))
+			}
+			if m.batchAmort != nil {
+				m.batchAmort.Add(uint64(ds.Batch.AmortizedRebuilds))
+			}
+		}
 	}
 	if err != nil {
 		state, code, werr := m.classify(ctx, j, err)

@@ -132,6 +132,10 @@ func New(cfg Config) (*Server, error) {
 	s.reg.CounterFunc("ehdoed_run_panics_recovered_total",
 		"Simulation panics recovered into errors instead of crashing the process.",
 		func() float64 { return float64(s.faults.Panics.Value()) })
+	batchLanes := s.reg.Counter("ehdoed_sim_batch_lanes_total",
+		"Design points simulated inside lockstep batch lanes.")
+	batchAmort := s.reg.Counter("ehdoed_sim_batch_rebuild_amortized_total",
+		"Batch-lane ZOH rebuilds answered by a bake shared with another lane.")
 	cache.RegisterMetrics(s.reg, "ehdoed_simcache")
 	if cfg.ModelsDir != "" {
 		if _, err := s.registry.LoadDir(cfg.ModelsDir); err != nil {
@@ -153,6 +157,9 @@ func New(cfg Config) (*Server, error) {
 		JobTimeout: cfg.JobTimeout,
 		Faults:     s.faults,
 		Cluster:    s.coord,
+
+		BatchLanes:     batchLanes,
+		BatchAmortized: batchAmort,
 	})
 	s.routes()
 	if cfg.EnablePprof {

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/harvester"
+	"repro/internal/la"
+)
+
+// BatchStats summarizes the amortization a batch achieved: how many lanes
+// ran, how many distinct (harvester, rin, dt) model groups they shared, how
+// many ZOH bakes were actually performed, and how many per-lane rebuild
+// requests were answered by a bake another lane had already paid for.
+type BatchStats struct {
+	Lanes             int // lanes that entered the lockstep loop
+	Groups            int // distinct model groups across those lanes
+	Rebuilds          int // ZOH discretizations actually performed
+	AmortizedRebuilds int // lane rebuilds answered by another lane's bake
+}
+
+// LaneError reports a failure of one batch lane. The surrounding batch
+// keeps stepping its remaining lanes; callers route the failed design point
+// through the sequential path (which reproduces the same error with full
+// retry semantics).
+type LaneError struct {
+	Lane int // index into the designs slice passed to RunBatch
+	Err  error
+}
+
+func (e *LaneError) Error() string { return fmt.Sprintf("sim: batch lane %d: %v", e.Lane, e.Err) }
+func (e *LaneError) Unwrap() error { return e.Err }
+
+// batchLane is one design point's private state inside the lockstep loop:
+// its per-lane model half (baked matrices + as-if-alone counters), slow
+// side, recorder, and the memoized tuner drift check — exactly the loop
+// state RunFast keeps in locals.
+type batchLane struct {
+	index   int // position in the original designs slice
+	model   fastModel
+	slow    *slowSide
+	rec     recorder
+	res     *Result
+	gamma   float64
+	tunerOn bool
+
+	lastGap  float64
+	lastFres float64
+}
+
+// groupKey identifies lanes whose fast-dynamics matrices are
+// interchangeable: identical harvester parameters, multiplier input
+// resistance, and step size. harvester.Params is an all-float64 struct, so
+// the key is comparable and exact.
+type groupKey struct {
+	h   harvester.Params
+	rin float64
+	dt  float64
+}
+
+// batchStepHook, when non-nil, is called for every active lane at every
+// slow step; a non-nil return drops that lane. It exists solely so tests
+// can force mid-run lane dropout — production never sets it.
+var batchStepHook func(step int, ln *batchLane) error
+
+// RunBatch simulates K design points in lockstep over a shared time base
+// with the fast engine. Each lane's floating-point stream is exactly the
+// one RunFast would execute for that design alone, so results[i] is
+// bit-identical to RunFast(designs[i], cfg) — the win is architectural:
+// lanes with identical (harvester, rin, dt) share one model group, so
+// tuner-driven ZOH rebuilds and the gap memo are paid once per group
+// instead of once per point, and the per-step excitation samples are
+// evaluated once for the whole batch.
+//
+// results has len(designs). A lane that fails — invalid design, setup
+// error, or mid-run rebuild failure — drops out without disturbing the
+// remaining lanes: its slot is nil and the returned error (an errors.Join
+// of *LaneError values) identifies it by index.
+func RunBatch(designs []Design, cfg Config) ([]*Result, error) {
+	results, _, err := RunBatchStats(designs, cfg)
+	return results, err
+}
+
+// RunBatchStats is RunBatch plus the batch's amortization statistics.
+func RunBatchStats(designs []Design, cfg Config) ([]*Result, BatchStats, error) {
+	var stats BatchStats
+	if err := cfg.defaults(); err != nil {
+		return nil, stats, err
+	}
+	start := time.Now()
+	results := make([]*Result, len(designs))
+	var laneErrs []error
+	fail := func(i int, err error) {
+		results[i] = nil
+		laneErrs = append(laneErrs, &LaneError{Lane: i, Err: err})
+	}
+
+	// Lane setup: validate, build slow sides, and attach each lane to its
+	// model group. Setup failures drop the lane before the loop starts.
+	groups := make(map[groupKey]*modelGroup)
+	active := make([]*batchLane, 0, len(designs))
+	for i, d := range designs {
+		if err := d.Validate(); err != nil {
+			fail(i, err)
+			continue
+		}
+		slow, err := newSlowSide(d)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		key := groupKey{h: d.Harv, rin: d.Mult.InputR, dt: cfg.DtSlow}
+		g := groups[key]
+		if g == nil {
+			g = newModelGroup(d.Harv, d.Mult.InputR, cfg.DtSlow)
+			groups[key] = g
+		}
+		res := &Result{}
+		ln := &batchLane{
+			index:   i,
+			model:   fastModel{g: g, shadow: &gapKeys{}},
+			slow:    slow,
+			rec:     recorder{cfg: cfg, d: d, res: res},
+			res:     res,
+			gamma:   d.Harv.Gamma,
+			tunerOn: slow.ctrl != nil,
+		}
+		if err := ln.model.rebuild(slow.gap); err != nil {
+			fail(i, err)
+			continue
+		}
+		ln.lastGap, ln.lastFres = slow.gap, ln.model.fres
+		results[i] = res
+		active = append(active, ln)
+	}
+	stats.Lanes = len(active)
+	stats.Groups = len(groups)
+
+	nSteps := int(math.Ceil(cfg.Horizon / cfg.DtSlow))
+	// SoA state: y0/y1/y2[j] are lane j's [x, v, i], kept in slices parallel
+	// to active so the fast-dynamics kernel streams over contiguous lanes.
+	y0 := make([]float64, len(active))
+	y1 := make([]float64, len(active))
+	y2 := make([]float64, len(active))
+	for _, ln := range active {
+		ln.rec.init(nSteps)
+	}
+
+	// drop removes lane j by swap-remove from active and every SoA slice.
+	// Lane order is free to change: lanes never read each other's state, and
+	// the shared group memo's entries are deterministic regardless of which
+	// lane bakes them, so compaction cannot disturb any surviving lane's
+	// floating-point stream.
+	drop := func(j int, err error) {
+		ln := active[j]
+		fail(ln.index, err)
+		last := len(active) - 1
+		active[j], y0[j], y1[j], y2[j] = active[last], y0[last], y1[last], y2[last]
+		active = active[:last]
+		y0, y1, y2 = y0[:last], y1[:last], y2[:last]
+	}
+
+	for k := 0; k < nSteps && len(active) > 0; k++ {
+		t := float64(k) * cfg.DtSlow
+		// Midpoint sampling of the excitation halves the ZOH phase error;
+		// the shared time base means one sample serves every lane.
+		accel := cfg.Source.Accel(t + cfg.DtSlow/2)
+		excf := cfg.Source.DominantFreq(t)
+
+		// Fast dynamics: advance maximal runs of adjacent lanes that share
+		// (group, gap bits, end-stop region) with one kernel call. Equal gap
+		// bits in the same group means the baked matrices are bit-identical
+		// copies of the same memo entry, so the first lane's arrays serve
+		// the whole run.
+		for j := 0; j < len(active); {
+			ln := active[j]
+			gapBits := math.Float64bits(ln.model.gap)
+			r := regionOf(y0[j], ln.model.g.h.MaxDisp)
+			run := j + 1
+			for run < len(active) {
+				nx := active[run]
+				if nx.model.g != ln.model.g ||
+					math.Float64bits(nx.model.gap) != gapBits ||
+					regionOf(y0[run], ln.model.g.h.MaxDisp) != r {
+					break
+				}
+				run++
+			}
+			la.StepLanes3(&ln.model.ad[r], &ln.model.bd[r], accel, y0, y1, y2, j, run)
+			j = run
+		}
+
+		// Slow side, per lane — the exact RunFast tail of the step. A
+		// rebuild failure drops the lane in place; the swap-remove pulls an
+		// unprocessed lane into slot j, so no j++ on the drop path.
+		for j := 0; j < len(active); {
+			ln := active[j]
+			if batchStepHook != nil {
+				if err := batchStepHook(k, ln); err != nil {
+					drop(j, err)
+					continue
+				}
+			}
+			emf := ln.gamma * y1[j]
+			gap := ln.slow.step(cfg.DtSlow, emf, excf)
+			if ln.tunerOn {
+				if gap != ln.lastGap {
+					ln.lastGap, ln.lastFres = gap, ln.model.g.h.ResonantFreq(gap)
+				}
+				if math.Abs(ln.lastFres-ln.model.fres) > rebuildTolHz {
+					if err := ln.model.rebuild(gap); err != nil {
+						drop(j, err)
+						continue
+					}
+				}
+			}
+			ln.rec.record(t+cfg.DtSlow, ln.slow.vs, y0[j], emf, gap)
+			j++
+		}
+	}
+
+	elapsed := time.Since(start)
+	for _, ln := range active {
+		ln.res.Steps = nSteps
+		ln.res.Rebuilds = ln.model.rebuilds
+		ln.res.RebuildHits = ln.model.memoHits
+		ln.slow.finish(ln.res, cfg.Horizon)
+		ln.res.Elapsed = elapsed
+	}
+	for _, g := range groups {
+		stats.Rebuilds += g.bakes
+		stats.AmortizedRebuilds += g.amortized
+	}
+	return results, stats, errors.Join(laneErrs...)
+}

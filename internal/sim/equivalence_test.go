@@ -222,7 +222,7 @@ func sameFloat(a, b float64) bool {
 func compareResults(t *testing.T, name string, want, got *Result) {
 	t.Helper()
 	scalars := []struct {
-		field    string
+		field     string
 		want, got float64
 	}{
 		{"HarvestedEnergy", want.HarvestedEnergy, got.HarvestedEnergy},

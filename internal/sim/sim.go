@@ -404,34 +404,33 @@ func (g *gapMemo) slot(bits uint64) *gapEntry {
 	return e
 }
 
-// fastModel caches the ZOH-discretized update matrices per region for the
-// current gap. State y = [x, v, i]; input u = [accel, 1] (the constant
-// channel carries the end-stop offset force).
-//
-// The matrices are baked into flat row-major arrays so step is
-// straight-line float math — no method calls, no bounds checks, no
-// allocations. Rebuilds go through a per-run LRU memo (the tuning
-// transient revisits gaps) and, on a miss, a reusable discretization
-// workspace, so a miss allocates nothing after the first.
-type fastModel struct {
-	h    harvester.Params
-	rin  float64
-	dt   float64
-	gap  float64
-	fres float64    // h.ResonantFreq(gap), cached for the drift check
-	ad   [3][9]float64
-	bd   [3][6]float64
+// rebuildTolHz is the resonance granularity below which a gap change does
+// not justify a matrix rebuild (Hz). RunFast and RunBatch share it so their
+// rebuild decisions are identical step for step.
+const rebuildTolHz = 0.05
+
+// modelGroup is the shared half of the fast engine's model: everything
+// that depends only on (harvester, multiplier input R, dt) — the gap memo,
+// the discretization workspace and its scratch matrices, plus the actual
+// work counters. RunFast owns exactly one; RunBatch shares one across all
+// lanes with identical parameters, so a rebuild performed by any lane
+// answers every other lane's request for the same gap from the memo.
+type modelGroup struct {
+	h   harvester.Params
+	rin float64
+	dt  float64
+
 	memo gapMemo
 	ws   *la.ZOHWorkspace
 	a    *la.Matrix // 3×3 continuous-time scratch
 	b    *la.Matrix // 3×2 continuous-time scratch
 
-	rebuilds int // ZOH discretizations performed (memo misses)
-	memoHits int // rebuilds answered by the memo
+	bakes     int // ZOH discretizations actually performed
+	amortized int // lane rebuilds answered by another lane's bake (batch only)
 }
 
-func newFastModel(h harvester.Params, rin, dt float64) *fastModel {
-	return &fastModel{
+func newModelGroup(h harvester.Params, rin, dt float64) *modelGroup {
+	return &modelGroup{
 		h:   h,
 		rin: rin,
 		dt:  dt,
@@ -441,52 +440,155 @@ func newFastModel(h harvester.Params, rin, dt float64) *fastModel {
 	}
 }
 
-func (m *fastModel) rebuild(gap float64) error {
-	m.gap = gap
-	m.fres = m.h.ResonantFreq(gap)
-	bits := math.Float64bits(gap)
-	if e := m.memo.lookup(bits); e != nil {
-		m.ad, m.bd = e.ad, e.bd
-		m.memoHits++
-		return nil
-	}
-	k := m.h.EffectiveStiffness(gap)
-	l := m.h.CoilL
+// bake discretizes the three piecewise-linear regions for gap and stores
+// the result in the memo under bits, returning the filled entry. The float
+// operations are exactly those of the pre-split fastModel.rebuild, so the
+// baked matrices are bit-identical no matter which lane triggers the bake.
+func (g *modelGroup) bake(bits uint64, gap float64) (*gapEntry, error) {
+	k := g.h.EffectiveStiffness(gap)
+	l := g.h.CoilL
 	if l <= 0 {
 		l = 1e-3 // tiny-but-finite inductance keeps the 3-state form uniform
 	}
-	rTot := m.h.CoilR + m.rin
+	rTot := g.h.CoilR + g.rin
+	var fad [3][9]float64
+	var fbd [3][6]float64
 	build := func(r region, kEff, fOff float64) error {
-		av := m.a.Data()
+		av := g.a.Data()
 		av[0], av[1], av[2] = 0, 1, 0
-		av[3], av[4], av[5] = -kEff/m.h.Mass, -m.h.DampingC/m.h.Mass, -m.h.Gamma/m.h.Mass
-		av[6], av[7], av[8] = 0, m.h.Gamma/l, -rTot/l
-		bv := m.b.Data()
+		av[3], av[4], av[5] = -kEff/g.h.Mass, -g.h.DampingC/g.h.Mass, -g.h.Gamma/g.h.Mass
+		av[6], av[7], av[8] = 0, g.h.Gamma/l, -rTot/l
+		bv := g.b.Data()
 		bv[0], bv[1] = 0, 0
-		bv[2], bv[3] = -1, fOff/m.h.Mass
+		bv[2], bv[3] = -1, fOff/g.h.Mass
 		bv[4], bv[5] = 0, 0
-		ad, bd, err := m.ws.Discretize(m.a, m.b, m.dt)
+		ad, bd, err := g.ws.Discretize(g.a, g.b, g.dt)
 		if err != nil {
 			return err
 		}
-		copy(m.ad[r][:], ad.Data())
-		copy(m.bd[r][:], bd.Data())
+		copy(fad[r][:], ad.Data())
+		copy(fbd[r][:], bd.Data())
 		return nil
 	}
 	if err := build(regionFree, k, 0); err != nil {
-		return err
+		return nil, err
 	}
 	// In contact: stop spring adds stiffness and a constant restoring
 	// offset ±StopK·MaxDisp.
-	if err := build(regionUpper, k+m.h.StopK, m.h.StopK*m.h.MaxDisp); err != nil {
-		return err
+	if err := build(regionUpper, k+g.h.StopK, g.h.StopK*g.h.MaxDisp); err != nil {
+		return nil, err
 	}
-	if err := build(regionLower, k+m.h.StopK, -m.h.StopK*m.h.MaxDisp); err != nil {
-		return err
+	if err := build(regionLower, k+g.h.StopK, -g.h.StopK*g.h.MaxDisp); err != nil {
+		return nil, err
 	}
-	m.rebuilds++
-	e := m.memo.slot(bits)
-	e.ad, e.bd = m.ad, m.bd
+	g.bakes++
+	e := g.memo.slot(bits)
+	e.ad, e.bd = fad, fbd
+	return e, nil
+}
+
+// gapKeys replays the gapMemo LRU policy over one lane's own request
+// stream without storing any matrices. RunBatch lanes use it to keep their
+// per-lane Rebuilds/RebuildHits counters exactly what a solo RunFast of
+// the same design would report, even though the actual matrix work is
+// amortized through the shared group memo.
+type gapKeys struct {
+	bits [gapMemoCap]uint64
+	tick [gapMemoCap]uint64
+	n    int
+	t    uint64
+}
+
+// request records one rebuild request and reports whether a lane-private
+// memo would have missed it.
+func (g *gapKeys) request(b uint64) bool {
+	for i := 0; i < g.n; i++ {
+		if g.bits[i] == b {
+			g.t++
+			g.tick[i] = g.t
+			return false
+		}
+	}
+	idx := 0
+	if g.n < gapMemoCap {
+		idx = g.n
+		g.n++
+	} else {
+		for i := 1; i < gapMemoCap; i++ {
+			if g.tick[i] < g.tick[idx] {
+				idx = i
+			}
+		}
+	}
+	g.t++
+	g.bits[idx] = b
+	g.tick[idx] = g.t
+	return true
+}
+
+// fastModel is the per-lane half of the fast engine's model: the lane's
+// current gap and its baked per-region update matrices, flat row-major so
+// step is straight-line float math — no method calls, no bounds checks, no
+// allocations. State y = [x, v, i]; input u = [accel, 1] (the constant
+// channel carries the end-stop offset force). Rebuild work lives in the
+// (possibly shared) modelGroup.
+type fastModel struct {
+	g    *modelGroup
+	gap  float64
+	fres float64 // g.h.ResonantFreq(gap), cached for the drift check
+	ad   [3][9]float64
+	bd   [3][6]float64
+
+	// shadow, when non-nil (batch lanes), keeps the as-if-alone counters
+	// honest against the shared memo; nil (RunFast) mirrors the group memo
+	// outcome directly.
+	shadow *gapKeys
+
+	rebuilds int // rebuilds a lane-private memo would have missed
+	memoHits int // rebuilds a lane-private memo would have answered
+}
+
+func newFastModel(h harvester.Params, rin, dt float64) *fastModel {
+	return &fastModel{g: newModelGroup(h, rin, dt)}
+}
+
+func (m *fastModel) rebuild(gap float64) error {
+	m.gap = gap
+	m.fres = m.g.h.ResonantFreq(gap)
+	bits := math.Float64bits(gap)
+	if m.shadow == nil {
+		// Single lane: the group memo is the lane's own memo.
+		if e := m.g.memo.lookup(bits); e != nil {
+			m.ad, m.bd = e.ad, e.bd
+			m.memoHits++
+			return nil
+		}
+		e, err := m.g.bake(bits, gap)
+		if err != nil {
+			return err
+		}
+		m.ad, m.bd = e.ad, e.bd
+		m.rebuilds++
+		return nil
+	}
+	// Batch lane: count as-if-alone via the shadow LRU, then satisfy the
+	// request from the shared memo (possibly baked by another lane).
+	aloneMiss := m.shadow.request(bits)
+	e := m.g.memo.lookup(bits)
+	if e == nil {
+		var err error
+		if e, err = m.g.bake(bits, gap); err != nil {
+			return err
+		}
+	} else if aloneMiss {
+		m.g.amortized++ // another lane's bake answered this lane's rebuild
+	}
+	m.ad, m.bd = e.ad, e.bd
+	if aloneMiss {
+		m.rebuilds++
+	} else {
+		m.memoHits++
+	}
 	return nil
 }
 
@@ -495,9 +597,9 @@ func (m *fastModel) rebuild(gap float64) error {
 // zero bounds checks, zero allocations.
 func (m *fastModel) step(y *[3]float64, accel float64) {
 	ad, bd := &m.ad[regionFree], &m.bd[regionFree]
-	if x := y[0]; x > m.h.MaxDisp {
+	if x := y[0]; x > m.g.h.MaxDisp {
 		ad, bd = &m.ad[regionUpper], &m.bd[regionUpper]
-	} else if x < -m.h.MaxDisp {
+	} else if x < -m.g.h.MaxDisp {
 		ad, bd = &m.ad[regionLower], &m.bd[regionLower]
 	}
 	y0, y1, y2 := y[0], y[1], y[2]
@@ -528,9 +630,6 @@ func RunFast(d Design, cfg Config) (*Result, error) {
 	if err := model.rebuild(slow.gap); err != nil {
 		return nil, err
 	}
-	// Resonance granularity below which a gap change does not justify a
-	// matrix rebuild (Hz).
-	const rebuildTolHz = 0.05
 
 	var y [3]float64 // x, v, i
 	nSteps := int(math.Ceil(cfg.Horizon / cfg.DtSlow))
