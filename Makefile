@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_9.json
 BASELINE ?= bench_baseline.json
 TOLERANCE ?= 0.25
 

@@ -5,7 +5,7 @@
 // and — when given a committed baseline — fails with a non-zero exit if
 // any benchmark regressed past the tolerance band.
 //
-//	go run ./cmd/bench -out BENCH_8.json -baseline bench_baseline.json -tolerance 0.25
+//	go run ./cmd/bench -out BENCH_9.json -baseline bench_baseline.json -tolerance 0.25
 //
 // Comparisons use calibration-normalized time (see internal/benchkit), so
 // a baseline recorded on one machine remains meaningful on another. Under
@@ -46,7 +46,7 @@ var (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "report output path")
+	out := flag.String("out", "BENCH_9.json", "report output path")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty: no comparison)")
 	tolerance := flag.Float64("tolerance", 0.25, "fractional regression tolerance (0.25 = +25%)")
 	quick := flag.Bool("quick", false, "skip the slow fleet benchmarks (CI smoke mode)")
@@ -215,6 +215,13 @@ func run(out, baseline string, tolerance float64, quick bool) error {
 	})
 	if perPoint := float64(pred.NsPerOp()) / float64(len(grid)); perPoint > 0 {
 		r.SetSpeedup("rsm_vs_sim", float64(fast.NsPerOp())/perPoint)
+	}
+
+	// --- sustained-QPS serving (see serveload.go) ---------------------------
+	// Runs even in quick mode: it is the overload-resilience gate, and a
+	// two-second open-loop run is cheap enough for CI smoke.
+	if err := benchSustainedQPS(r); err != nil {
+		return err
 	}
 
 	// --- distributed fleet scaling (see cluster.go) -------------------------

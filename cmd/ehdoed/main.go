@@ -29,6 +29,14 @@
 //	GET    /v1/cluster/workers   worker fleet health view
 //	GET    /v1/cluster/cache     sharded cache tier: shard map + fleet cache counters
 //
+// Overload behavior: the synchronous model endpoints sit behind
+// per-endpoint admission control (-admission, -limit-surface,
+// -limit-validate, -limit-wait) — saturated endpoints shed with a typed
+// 429 "overloaded" envelope and a Retry-After hint instead of queueing
+// without bound, and repeated predict/sweep questions are answered from a
+// model-versioned response memo (-memo-size). See README "Overload
+// behavior".
+//
 // Observability: every request gets (or keeps) an X-Request-ID; the same
 // ID threads the access log, build-job transitions and simulation-run
 // lines. -log-format json emits machine-parseable lines, -log-level debug
@@ -79,6 +87,12 @@ func main() {
 	clusterLeaseTimeout := flag.Duration("cluster-lease-timeout", 60*time.Second, "worker-fleet lease age past which slow leases are stolen")
 	clusterLeasePoints := flag.Int("cluster-lease-points", 4, "max design points per worker-fleet lease")
 	strictAPI := flag.Bool("strict-api", false, "reject deprecated request fields (the legacy \"amp\" alias) with code bad_field")
+	admission := flag.Bool("admission", true, "per-endpoint admission control (load shedding with Retry-After)")
+	limitSurface := flag.Int("limit-surface", 0, "max concurrent surface requests (predict/sweep/optimize) per endpoint (0 = 4×GOMAXPROCS)")
+	limitValidate := flag.Int("limit-validate", 0, "max concurrent validate requests (0 = GOMAXPROCS)")
+	limitWait := flag.Duration("limit-wait", 0, "max queue wait before a surface request is shed (0 = built-in default)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
+	memoSize := flag.Int("memo-size", 512, "response-memo capacity for predict/sweep, entries (negative disables)")
 	faultCfg := fault.FlagConfig(flag.CommandLine)
 	flag.Parse()
 
@@ -124,6 +138,13 @@ func main() {
 		EnablePprof: *pprof,
 		JobTimeout:  *jobTimeout,
 		StrictAPI:   *strictAPI,
+		Load: serve.LoadConfig{
+			Disable:      !*admission,
+			Surface:      serve.EndpointLimit{MaxConcurrent: *limitSurface, MaxWait: *limitWait},
+			Validate:     serve.EndpointLimit{MaxConcurrent: *limitValidate},
+			RetryAfter:   *retryAfter,
+			MemoCapacity: *memoSize,
+		},
 		Cluster: cluster.Config{
 			HeartbeatInterval: *clusterHeartbeat,
 			LeaseTimeout:      *clusterLeaseTimeout,

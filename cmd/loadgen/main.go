@@ -1,0 +1,254 @@
+// Command loadgen is the open-loop load generator for an ehdoed daemon:
+// it offers requests at a configured rate for a configured duration —
+// arrivals fire on schedule whether or not earlier requests have finished,
+// which is what real traffic does — and reports goodput, shed rate and the
+// latency distribution (quantiles plus a histogram).
+//
+//	go run ./cmd/loadgen -url http://localhost:8080 -model ccf \
+//	    -qps 500 -duration 10s -mix predict=0.8,sweep=0.15,optimize=0.05
+//
+// Every request is one attempt, no retries: a shed (429/503) is counted as
+// shed, never papered over, so the report reflects what the server
+// actually did under the offered load. Use it to find the knee: sweep
+// -qps upward until shed_rate lifts off zero, and check the admitted
+// latency quantiles stay flat past that point — that flatness is the whole
+// point of admission control.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apiclient"
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+type config struct {
+	url      string
+	model    string
+	mix      string
+	qps      float64
+	duration time.Duration
+	timeout  time.Duration
+	seed     int64
+	uniform  bool
+	jsonOut  string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.url, "url", "http://localhost:8080", "base URL of the ehdoed daemon")
+	flag.StringVar(&cfg.model, "model", "", "registered model the model-backed targets query (required unless -mix is healthz only)")
+	flag.StringVar(&cfg.mix, "mix", "predict=1", "traffic mix as name=weight pairs (predict, sweep, optimize, healthz)")
+	flag.Float64Var(&cfg.qps, "qps", 100, "offered arrival rate, requests per second")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to offer load")
+	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request timeout")
+	flag.Int64Var(&cfg.seed, "seed", 1, "arrival-schedule seed (same seed, same offered schedule)")
+	flag.BoolVar(&cfg.uniform, "uniform", false, "uniform arrival spacing instead of Poisson")
+	flag.StringVar(&cfg.jsonOut, "json", "", "also write the full report as JSON to this path")
+	flag.Parse()
+
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	printReport(os.Stdout, rep)
+	if cfg.jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(cfg.jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", cfg.jsonOut)
+	}
+}
+
+// run builds the target set and drives the open-loop generator; split from
+// main so the smoke test can exercise the whole path in-process.
+func run(ctx context.Context, cfg config) (*load.GenReport, error) {
+	weights, err := parseMix(cfg.mix)
+	if err != nil {
+		return nil, err
+	}
+	client := apiclient.New(cfg.url, apiclient.Options{MaxAttempts: 1})
+
+	// Model-backed targets need the factor ranges to build valid bodies;
+	// discover them from the server instead of hardcoding the problem.
+	var detail serve.ModelDetail
+	needsModel := false
+	for name := range weights {
+		if name != "healthz" {
+			needsModel = true
+		}
+	}
+	if needsModel {
+		if cfg.model == "" {
+			return nil, fmt.Errorf("mix %q needs -model", cfg.mix)
+		}
+		if err := client.Get(ctx, "/v1/models/"+cfg.model, &detail); err != nil {
+			return nil, fmt.Errorf("discovering model %q: %w", cfg.model, err)
+		}
+		if len(detail.Factors) == 0 || len(detail.Responses) == 0 {
+			return nil, fmt.Errorf("model %q has no factors or responses", cfg.model)
+		}
+	}
+
+	var targets []load.Target
+	for name, weight := range weights {
+		t, err := buildTarget(client, cfg.model, name, weight, detail)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Name < targets[j].Name })
+
+	return load.Run(ctx, load.GenConfig{
+		QPS:      cfg.qps,
+		Duration: cfg.duration,
+		Targets:  targets,
+		Seed:     cfg.seed,
+		Uniform:  cfg.uniform,
+		Timeout:  cfg.timeout,
+	})
+}
+
+// parseMix decodes "predict=0.8,sweep=0.2" into weights.
+func parseMix(mix string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		switch name {
+		case "predict", "sweep", "optimize", "healthz":
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown target (want predict, sweep, optimize or healthz)", part)
+		}
+		w, err := strconv.ParseFloat(raw, 64)
+		if err != nil || w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("mix entry %q: weight must be a positive number", part)
+		}
+		out[name] = w
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q names no targets", mix)
+	}
+	return out, nil
+}
+
+// buildTarget wires one traffic class. Bodies vary deterministically per
+// request (a per-target counter walks the factor box), so the stream
+// exercises the server rather than replaying one memoizable question.
+func buildTarget(client *apiclient.Client, model, name string, weight float64, detail serve.ModelDetail) (load.Target, error) {
+	var n atomic.Int64
+	point := func(i int64) []float64 {
+		p := make([]float64, len(detail.Factors))
+		for j, f := range detail.Factors {
+			frac := float64((i*31+int64(j)*17)%101) / 100
+			p[j] = f.Min + frac*(f.Max-f.Min)
+		}
+		return p
+	}
+	do := func(in any, path string) func(context.Context) (int, error) {
+		return func(ctx context.Context) (int, error) {
+			res, err := client.Do(ctx, http.MethodPost, path, in)
+			if err != nil {
+				return 0, err
+			}
+			return res.Status, nil
+		}
+	}
+	t := load.Target{Name: name, Weight: weight}
+	switch name {
+	case "healthz":
+		t.Do = func(ctx context.Context) (int, error) {
+			res, err := client.Do(ctx, http.MethodGet, "/healthz", nil)
+			if err != nil {
+				return 0, err
+			}
+			return res.Status, nil
+		}
+	case "predict":
+		t.Do = func(ctx context.Context) (int, error) {
+			return do(serve.PredictRequest{Model: model, Point: point(n.Add(1))}, "/v1/predict")(ctx)
+		}
+	case "sweep":
+		t.Do = func(ctx context.Context) (int, error) {
+			i := n.Add(1)
+			f := detail.Factors[i%int64(len(detail.Factors))]
+			return do(serve.SweepRequest{
+				Model:    model,
+				Response: detail.Responses[i%int64(len(detail.Responses))],
+				Factor:   f.Name,
+				Points:   21,
+			}, "/v1/sweep")(ctx)
+		}
+	case "optimize":
+		t.Do = func(ctx context.Context) (int, error) {
+			i := n.Add(1)
+			return do(serve.OptimizeRequest{
+				Model:    model,
+				Response: detail.Responses[i%int64(len(detail.Responses))],
+				Starts:   2,
+				Seed:     i,
+			}, "/v1/optimize")(ctx)
+		}
+	default:
+		return t, fmt.Errorf("unknown target %q", name)
+	}
+	return t, nil
+}
+
+func printReport(w *os.File, rep *load.GenReport) {
+	fmt.Fprintf(w, "offered  %6d requests in %.2fs (%.1f qps offered, %.1f qps goodput)\n",
+		rep.Offered, rep.DurationS, rep.OfferedQPS, rep.GoodputQPS)
+	fmt.Fprintf(w, "served   %6d\n", rep.Served)
+	fmt.Fprintf(w, "shed     %6d (%.1f%%)\n", rep.Shed, rep.ShedRate*100)
+	fmt.Fprintf(w, "failed   %6d\n", rep.Failed)
+	fmt.Fprintf(w, "latency  p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
+	if rep.Shed > 0 {
+		fmt.Fprintf(w, "shed lat p50 %.2fms  p99 %.2fms\n", rep.ShedLatency.P50, rep.ShedLatency.P99)
+	}
+	var names []string
+	for name := range rep.ByTarget {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "target   %-10s %6d\n", name, rep.ByTarget[name])
+	}
+	fmt.Fprintln(w, "histogram (served):")
+	for _, b := range rep.Hist {
+		if b.Count == 0 {
+			continue
+		}
+		le := "+Inf"
+		if b.LeMs >= 0 {
+			le = fmt.Sprintf("%gms", b.LeMs)
+		}
+		fmt.Fprintf(w, "  <= %-8s %6d\n", le, b.Count)
+	}
+}

@@ -6,11 +6,15 @@
 // transport failures, and X-Request-ID propagation — is defined exactly
 // once.
 //
-// Retries are transport-level only: a connection that failed before the
-// server produced a response is retried with doubling backoff; any HTTP
-// response, success or error, is authoritative and returned as-is. The
-// protocols this client serves are safe under that rule (registration and
-// results uploads are idempotent-ish by design; see internal/cluster).
+// Retries are transport-level only, with one deliberate exception: a
+// connection that failed before the server produced a response is retried
+// with doubling backoff, and a 429 or 503 that carries a Retry-After
+// header — the server explicitly saying "come back in N seconds" — is
+// retried after the advised delay (capped, lightly jittered). Any other
+// HTTP response, success or error, is authoritative and returned as-is;
+// in particular a 503 without the header (a draining server) is final.
+// The protocols this client serves are safe under that rule (registration
+// and results uploads are idempotent-ish by design; see internal/cluster).
 package apiclient
 
 import (
@@ -20,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -71,16 +77,21 @@ type Options struct {
 	// MaxBody caps the decoded response body (default 64 MiB — lease
 	// responses and model documents are large).
 	MaxBody int64
+	// RetryAfterCap bounds how long a server-advised Retry-After delay may
+	// hold an attempt loop (default 30s); a pathological or hostile header
+	// must not park the client for an hour.
+	RetryAfterCap time.Duration
 }
 
 // Client issues typed JSON calls against one base URL. Safe for concurrent
 // use.
 type Client struct {
-	base        string
-	hc          *http.Client
-	maxAttempts int
-	baseDelay   time.Duration
-	maxBody     int64
+	base          string
+	hc            *http.Client
+	maxAttempts   int
+	baseDelay     time.Duration
+	maxBody       int64
+	retryAfterCap time.Duration
 }
 
 // New builds a client for the given base URL (e.g. "http://host:8080").
@@ -101,12 +112,17 @@ func New(base string, opts Options) *Client {
 	if maxBody <= 0 {
 		maxBody = 64 << 20
 	}
+	raCap := opts.RetryAfterCap
+	if raCap <= 0 {
+		raCap = 30 * time.Second
+	}
 	return &Client{
-		base:        strings.TrimRight(base, "/"),
-		hc:          hc,
-		maxAttempts: attempts,
-		baseDelay:   delay,
-		maxBody:     maxBody,
+		base:          strings.TrimRight(base, "/"),
+		hc:            hc,
+		maxAttempts:   attempts,
+		baseDelay:     delay,
+		maxBody:       maxBody,
+		retryAfterCap: raCap,
 	}
 }
 
@@ -147,17 +163,28 @@ func (c *Client) Do(ctx context.Context, method, path string, in any) (*Result, 
 	}
 
 	delay := c.baseDelay
+	var advised time.Duration // server-advised Retry-After for the next attempt
+	advisedSet := false
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
-			t := time.NewTimer(delay)
+			wait := delay
+			delay *= 2
+			if advisedSet {
+				// The server said when to come back; that beats our blind
+				// doubling schedule (even "0 seconds" does). Jitter ≤10% so
+				// a herd of clients shed together does not return in
+				// lockstep.
+				wait = advised + jitter(advised/10)
+				advisedSet = false
+			}
+			t := time.NewTimer(wait)
 			select {
 			case <-t.C:
 			case <-ctx.Done():
 				t.Stop()
 				return nil, context.Cause(ctx)
 			}
-			delay *= 2
 		}
 		var body io.Reader
 		if payload != nil {
@@ -185,7 +212,14 @@ func (c *Client) Do(ctx context.Context, method, path string, in any) (*Result, 
 			lastErr = err
 			continue
 		}
-		return &Result{Status: res.StatusCode, Header: res.Header, Body: out}, nil
+		result := &Result{Status: res.StatusCode, Header: res.Header, Body: out}
+		if attempt < c.maxAttempts-1 {
+			if d, ok := c.serverAdvisedRetry(result); ok {
+				advised, advisedSet = d, true
+				continue
+			}
+		}
+		return result, nil
 	}
 	return nil, fmt.Errorf("api: %s %s failed after %d attempts: %w", method, path, c.maxAttempts, lastErr)
 }
@@ -218,6 +252,56 @@ func (c *Client) Get(ctx context.Context, path string, out any) error {
 // Post issues a typed POST.
 func (c *Client) Post(ctx context.Context, path string, in, out any) error {
 	return c.Call(ctx, http.MethodPost, path, in, out)
+}
+
+// serverAdvisedRetry reports whether the response is an explicit
+// back-pressure signal worth waiting out: a 429 or 503 carrying a
+// Retry-After header. The header gate matters — a 503 without it (a
+// draining server) is a final answer, and retrying it would just prolong
+// shutdowns.
+func (c *Client) serverAdvisedRetry(res *Result) (time.Duration, bool) {
+	if res.Status != http.StatusTooManyRequests && res.Status != http.StatusServiceUnavailable {
+		return 0, false
+	}
+	d, ok := parseRetryAfter(res.Header.Get("Retry-After"))
+	if !ok {
+		return 0, false
+	}
+	if d > c.retryAfterCap {
+		d = c.retryAfterCap
+	}
+	return d, true
+}
+
+// parseRetryAfter decodes a Retry-After header value: delta-seconds or an
+// HTTP-date (RFC 9110 §10.2.3). Negative or unparseable values are
+// ignored.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := time.Until(at)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// jitter draws a uniform duration in [0, max).
+func jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(max)))
 }
 
 // decodeError turns a non-2xx result into *Error, tolerating bodies that

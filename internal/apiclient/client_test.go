@@ -177,6 +177,132 @@ func TestAbsoluteURLPassthrough(t *testing.T) {
 	}
 }
 
+// TestRetryAfterHonored: a 429 carrying Retry-After is retried after the
+// advised delay — which overrides the client's own doubling schedule. The
+// base delay here is a minute; only the server's "0 seconds" advice lets
+// the test finish fast.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded","code":"overloaded"}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{MaxAttempts: 3, BaseDelay: time.Minute})
+	start := time.Now()
+	if err := c.Get(context.Background(), "/", nil); err != nil {
+		t.Fatalf("advised retry should recover: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("%d calls, want 2", n)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("advised 0s retry took %s; the doubling schedule leaked through", d)
+	}
+}
+
+// TestRetryAfterExhausted: when every attempt is shed, the final 429 is
+// returned as the authoritative answer (typed *Error), not wrapped as a
+// transport failure.
+func TestRetryAfterExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"still overloaded","code":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	err := New(ts.URL, Options{MaxAttempts: 3, BaseDelay: time.Millisecond}).Get(context.Background(), "/", nil)
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Code != "overloaded" {
+		t.Fatalf("exhausted advised retries: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("%d calls, want all 3 attempts", n)
+	}
+}
+
+// TestServiceUnavailableWithoutHeaderIsFinal: a bare 503 (a draining
+// server) is an authoritative answer — exactly one call, no retry.
+func TestServiceUnavailableWithoutHeaderIsFinal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"draining","code":"shutting_down"}`))
+	}))
+	defer ts.Close()
+
+	err := New(ts.URL, Options{MaxAttempts: 3, BaseDelay: time.Millisecond}).Get(context.Background(), "/", nil)
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != "shutting_down" {
+		t.Fatalf("bare 503: %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("bare 503 retried: %d calls, want 1", n)
+	}
+}
+
+// TestRetryAfterCapped: a pathological Retry-After (an hour) is clamped to
+// the configured cap, so the call still completes promptly.
+func TestRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"queue full","code":"queue_full"}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{MaxAttempts: 2, BaseDelay: time.Millisecond, RetryAfterCap: 10 * time.Millisecond})
+	start := time.Now()
+	if err := c.Get(context.Background(), "/", nil); err != nil {
+		t.Fatalf("capped advised retry: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("hour-long Retry-After not capped: waited %s", d)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("%d calls, want 2", n)
+	}
+}
+
+// TestParseRetryAfter covers both header encodings and the garbage cases.
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := parseRetryAfter("7"); !ok || d != 7*time.Second {
+		t.Fatalf("delta-seconds: %s %v", d, ok)
+	}
+	if _, ok := parseRetryAfter("-3"); ok {
+		t.Fatal("negative delta accepted")
+	}
+	if _, ok := parseRetryAfter(""); ok {
+		t.Fatal("empty header accepted")
+	}
+	if _, ok := parseRetryAfter("soon"); ok {
+		t.Fatal("garbage accepted")
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := parseRetryAfter(future); !ok || d < 80*time.Second || d > 91*time.Second {
+		t.Fatalf("HTTP-date: %s %v", d, ok)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d, ok := parseRetryAfter(past); !ok || d != 0 {
+		t.Fatalf("past HTTP-date should clamp to 0: %s %v", d, ok)
+	}
+}
+
 // TestContextCancelStopsBackoff: cancellation during the retry sleep
 // returns promptly with the context's cause, not after the full backoff.
 func TestContextCancelStopsBackoff(t *testing.T) {

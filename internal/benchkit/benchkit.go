@@ -47,6 +47,11 @@ type Report struct {
 	// "rsm_vs_sim") computed by the harness binary.
 	Speedups   map[string]float64 `json:"speedups,omitempty"`
 	Benchmarks map[string]Metric  `json:"benchmarks"`
+	// Stats carries informational measurements (e.g. a load test's p99 or
+	// shed rate) recorded for trend-watching but NEVER drift-gated:
+	// Compare ignores them, so a noisy CI runner cannot fail the build on
+	// a tail quantile.
+	Stats map[string]float64 `json:"stats,omitempty"`
 }
 
 // NewReport returns an empty report stamped with the platform and the
@@ -82,6 +87,24 @@ func (r *Report) SetSpeedup(name string, v float64) {
 		r.Speedups = map[string]float64{}
 	}
 	r.Speedups[name] = v
+}
+
+// AddMetric records an externally-measured benchmark (one that did not
+// come from testing.Benchmark, e.g. a load generator's p50) under name,
+// normalizing it like Add does so the drift gate applies.
+func (r *Report) AddMetric(name string, m Metric) {
+	if r.CalibrationNs > 0 && m.Normalized == 0 {
+		m.Normalized = m.NsPerOp / r.CalibrationNs
+	}
+	r.Benchmarks[name] = m
+}
+
+// SetStat records an ungated informational measurement under name.
+func (r *Report) SetStat(name string, v float64) {
+	if r.Stats == nil {
+		r.Stats = map[string]float64{}
+	}
+	r.Stats[name] = v
 }
 
 var calSink float64

@@ -107,6 +107,8 @@ func TestReportRoundTrip(t *testing.T) {
 		calSink += s
 	}))
 	r.SetSpeedup("a_vs_b", 3.5)
+	r.AddMetric("ext_p50", Metric{NsPerOp: 42e6})
+	r.SetStat("shed_rate", 0.25)
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := r.WriteFile(path); err != nil {
 		t.Fatal(err)
@@ -123,6 +125,24 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if got.Benchmarks["x"].Normalized <= 0 {
 		t.Fatal("normalized time must be recorded")
+	}
+	if got.Benchmarks["ext_p50"].Normalized <= 0 {
+		t.Fatal("AddMetric must normalize like Add")
+	}
+	if got.Stats["shed_rate"] != 0.25 {
+		t.Fatal("stats did not round-trip")
+	}
+}
+
+// TestStatsNeverGated: a stat that explodes between reports must not trip
+// Compare — stats are trend data, not gates.
+func TestStatsNeverGated(t *testing.T) {
+	base := report(100, map[string]Metric{"x": {NsPerOp: 100}})
+	base.SetStat("p99_ms", 1)
+	cur := report(100, map[string]Metric{"x": {NsPerOp: 100}})
+	cur.SetStat("p99_ms", 1000)
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("stats drift must never gate, got %v", regs)
 	}
 }
 

@@ -1,0 +1,233 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterAdmitsUpToCapacity: MaxConcurrent requests are admitted
+// immediately, the next MaxQueue wait, and the one past both is shed with
+// queue_full before any timer fires.
+func TestLimiterAdmitsUpToCapacity(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 2, MaxQueue: 1, MaxWait: 50 * time.Millisecond})
+	ctx := context.Background()
+
+	r1, w1, err := l.Acquire(ctx)
+	if err != nil || w1 != 0 {
+		t.Fatalf("first acquire: waited %s, err %v", w1, err)
+	}
+	r2, _, err := l.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := l.Inflight(); got != 2 {
+		t.Fatalf("inflight %d, want 2", got)
+	}
+
+	// Third queues; fill the queue from a goroutine, then the fourth must
+	// shed immediately with queue_full.
+	queued := make(chan error, 1)
+	go func() {
+		rel, _, err := l.Acquire(ctx)
+		if err == nil {
+			rel()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return l.QueueDepth() == 1 })
+	start := time.Now()
+	_, _, err = l.Acquire(ctx)
+	var sh *ShedError
+	if !errors.As(err, &sh) || sh.Reason != ReasonQueueFull {
+		t.Fatalf("overflow acquire: %v, want queue_full shed", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("queue_full shed took %s, want immediate", d)
+	}
+	if sh.RetryAfter <= 0 {
+		t.Fatalf("shed retry-after %s, want positive", sh.RetryAfter)
+	}
+
+	// Releasing a slot admits the queued waiter.
+	r1()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	r2()
+	waitFor(t, func() bool { return l.Inflight() == 0 && l.QueueDepth() == 0 })
+}
+
+// TestLimiterWaitTimeout: a queued request is shed with wait_timeout once
+// MaxWait elapses with no slot freed, and the recorded wait is ~MaxWait.
+func TestLimiterWaitTimeout(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4, MaxWait: 30 * time.Millisecond})
+	rel, _, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	_, waited, err := l.Acquire(context.Background())
+	var sh *ShedError
+	if !errors.As(err, &sh) || sh.Reason != ReasonWaitTimeout {
+		t.Fatalf("acquire on saturated limiter: %v, want wait_timeout shed", err)
+	}
+	if waited < 25*time.Millisecond {
+		t.Fatalf("shed after %s, want ~30ms queue wait", waited)
+	}
+}
+
+// TestLimiterDeadlineAware: a request whose context deadline is already
+// unmeetable is rejected immediately, and one whose deadline is shorter
+// than MaxWait is shed at the deadline with reason deadline.
+func TestLimiterDeadlineAware(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4, MaxWait: time.Second})
+	rel, _, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// Expired deadline: immediate rejection, no queue wait.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	start := time.Now()
+	_, _, err = l.Acquire(expired)
+	var sh *ShedError
+	if !errors.As(err, &sh) || sh.Reason != ReasonDeadline {
+		t.Fatalf("expired-deadline acquire: %v, want deadline shed", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("expired-deadline shed took %s, want immediate", d)
+	}
+
+	// Deadline shorter than MaxWait: shed at ~the deadline, not MaxWait.
+	short, cancel2 := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel2()
+	start = time.Now()
+	_, _, err = l.Acquire(short)
+	if !errors.As(err, &sh) || sh.Reason != ReasonDeadline {
+		t.Fatalf("short-deadline acquire: %v, want deadline shed", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("short-deadline shed took %s, want ~25ms", d)
+	}
+}
+
+// TestLimiterReleaseIdempotent: double release must not free two slots.
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 0})
+	rel, _, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight after double release %d, want 0", got)
+	}
+	// The slot is usable again, exactly once.
+	rel2, _, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("reacquire after double release: %v", err)
+	}
+	if _, _, err := l.Acquire(context.Background()); err == nil {
+		t.Fatal("second concurrent acquire succeeded on a 1-slot limiter")
+	}
+	rel2()
+}
+
+// TestLimiterGauges: the optional gauges track admitted and queued counts
+// and return to zero once the storm passes.
+func TestLimiterGauges(t *testing.T) {
+	var ig, qg testGauge
+	l := NewLimiter(LimiterConfig{
+		MaxConcurrent: 2, MaxQueue: 8, MaxWait: time.Second,
+		InflightGauge: &ig, QueueGauge: &qg,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, err := l.Acquire(context.Background())
+			if err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if v := ig.value(); v != 0 {
+		t.Fatalf("inflight gauge settled at %g, want 0", v)
+	}
+	if v := qg.value(); v != 0 {
+		t.Fatalf("queue gauge settled at %g, want 0", v)
+	}
+}
+
+// TestLimiterConcurrentNeverExceedsCap hammers the limiter and asserts
+// the concurrent admitted count never exceeds MaxConcurrent.
+func TestLimiterConcurrentNeverExceedsCap(t *testing.T) {
+	const cap = 3
+	l := NewLimiter(LimiterConfig{MaxConcurrent: cap, MaxQueue: 64, MaxWait: time.Second})
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, err := l.Acquire(context.Background())
+			if err != nil {
+				return
+			}
+			defer rel()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("peak concurrency %d exceeded cap %d", p, cap)
+	}
+}
+
+type testGauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (g *testGauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+func (g *testGauge) value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

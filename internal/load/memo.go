@@ -1,0 +1,81 @@
+package load
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a bounded LRU memo for rendered responses: the serving hot path
+// stores the exact bytes it wrote under a key that includes the model's
+// ETag, so a repeat of an identical request is answered in O(1) with a
+// byte-identical body, and a registry hot-swap invalidates every entry of
+// the old model atomically — the new ETag simply never matches the old
+// keys, which age out of the LRU. Safe for concurrent use.
+type Memo struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	idx    map[string]*list.Element
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type memoEntry struct {
+	key string
+	val []byte
+}
+
+// NewMemo returns a memo bounded to capacity entries (default 256).
+func NewMemo(capacity int) *Memo {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Memo{cap: capacity, ll: list.New(), idx: make(map[string]*list.Element)}
+}
+
+// Get fetches the memoized bytes for key, refreshing its recency. The
+// returned slice must not be mutated.
+func (m *Memo) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.idx[key]
+	if !ok {
+		m.misses.Add(1)
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	m.hits.Add(1)
+	return el.Value.(*memoEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry past
+// capacity. The memo keeps the slice as-is; callers must not mutate it.
+func (m *Memo) Put(key string, val []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.idx[key]; ok {
+		el.Value.(*memoEntry).val = val
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.idx[key] = m.ll.PushFront(&memoEntry{key: key, val: val})
+	for m.ll.Len() > m.cap {
+		last := m.ll.Back()
+		m.ll.Remove(last)
+		delete(m.idx, last.Value.(*memoEntry).key)
+	}
+}
+
+// Len reports the number of memoized entries.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Hits reports the lifetime hit count.
+func (m *Memo) Hits() uint64 { return m.hits.Load() }
+
+// Misses reports the lifetime miss count.
+func (m *Memo) Misses() uint64 { return m.misses.Load() }

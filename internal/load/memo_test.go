@@ -1,0 +1,79 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMemoLRU: capacity is enforced by least-recently-used eviction, and
+// Get refreshes recency.
+func TestMemoLRU(t *testing.T) {
+	m := NewMemo(2)
+	m.Put("a", []byte("A"))
+	m.Put("b", []byte("B"))
+	if _, ok := m.Get("a"); !ok { // refresh a: b is now the LRU entry
+		t.Fatal("a missing")
+	}
+	m.Put("c", []byte("C"))
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("b survived eviction past capacity")
+	}
+	if v, ok := m.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("a after eviction: %q %v", v, ok)
+	}
+	if v, ok := m.Get("c"); !ok || !bytes.Equal(v, []byte("C")) {
+		t.Fatalf("c after eviction: %q %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len %d, want 2", m.Len())
+	}
+}
+
+// TestMemoCounters: hits and misses are counted exactly.
+func TestMemoCounters(t *testing.T) {
+	m := NewMemo(4)
+	m.Put("k", []byte("v"))
+	m.Get("k")
+	m.Get("k")
+	m.Get("absent")
+	if h, ms := m.Hits(), m.Misses(); h != 2 || ms != 1 {
+		t.Fatalf("hits %d misses %d, want 2 and 1", h, ms)
+	}
+}
+
+// TestMemoOverwrite: a Put on an existing key replaces the value without
+// growing the memo.
+func TestMemoOverwrite(t *testing.T) {
+	m := NewMemo(4)
+	m.Put("k", []byte("old"))
+	m.Put("k", []byte("new"))
+	if v, _ := m.Get("k"); !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("got %q, want new", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len %d, want 1", m.Len())
+	}
+}
+
+// TestMemoConcurrent exercises the memo under the race detector.
+func TestMemoConcurrent(t *testing.T) {
+	m := NewMemo(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := fmt.Sprintf("k%d", (i+j)%32)
+				m.Put(key, []byte(key))
+				m.Get(key)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if m.Len() > 16 {
+		t.Fatalf("len %d exceeded capacity 16", m.Len())
+	}
+}

@@ -194,6 +194,14 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Sum returns the sum of all observed values — with Count, enough to read
+// a mean out of a running histogram in tests and ops tooling.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 func (h *Histogram) render(b *strings.Builder, name, labels string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -73,6 +73,12 @@ func TestHistogramRender(t *testing.T) {
 
 	plain := r.Histogram("app_size_bytes", "Sizes.", []float64{10})
 	plain.Observe(3)
+	if got := plain.Sum(); got != 3 {
+		t.Fatalf("Sum() %g, want 3", got)
+	}
+	if got := h.With("predict").Sum(); got != 5.55 {
+		t.Fatalf("vec Sum() %g, want 5.55", got)
+	}
 	out = string(r.Render())
 	for _, want := range []string{
 		`app_size_bytes_bucket{le="10"} 1`,

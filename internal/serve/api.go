@@ -20,11 +20,15 @@ import (
 )
 
 // HealthResponse is the GET /healthz body. Status is "ok" while serving
-// and "draining" (with HTTP 503) once shutdown has begun.
+// and "draining" (with HTTP 503) once shutdown has begun. QueueDepth and
+// QueueCap report build-queue pressure, so load balancers and operators
+// can see saturation coming before submits start bouncing.
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	Models        int     `json:"models"`
 	UptimeSeconds float64 `json:"uptime_s"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCap      int     `json:"queue_cap"`
 }
 
 // ModelsResponse is the GET /v1/models body.
@@ -323,6 +327,7 @@ const (
 	codeNotFound       = "not_found"       // unknown model or job
 	codeConflict       = "conflict"        // request inconsistent with server state
 	codeQueueFull      = "queue_full"      // build queue at capacity
+	codeOverloaded     = "overloaded"      // admission control shed the request (429 + Retry-After)
 	codeShuttingDown   = "shutting_down"   // server is draining
 	codeClientClosed   = "client_closed"   // client disconnected mid-work
 	codeNumericInvalid = "numeric_invalid" // simulation produced NaN/Inf responses

@@ -73,16 +73,30 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 // handlePredict is the serving hot path: batch evaluation of any subset of
 // responses at any number of points, natural or coded units. One basis
 // construction and one scratch row per response cover the whole batch
-// (core.SavedSurfaces.PredictBatch).
+// (core.SavedSurfaces.PredictBatch). Responses are memoized per
+// (model-version, body) fingerprint: predictions are pure functions of the
+// surfaces, so an identical question to an unchanged model replays the
+// stored bytes, and a hot-swap invalidates by changing the ETag.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	ss, ok := s.model(w, req.Model)
+	body, ok := s.decodeBody(w, r, &req)
 	if !ok {
 		return
 	}
+	ss, etag, ok := s.taggedModel(w, req.Model)
+	if !ok {
+		return
+	}
+	key := memoKey("predict", etag, body)
+	if s.memoServe(w, "predict", key) {
+		return
+	}
+	cw := newCaptureWriter(w)
+	s.predictCore(cw, req, ss)
+	s.memoStore(key, cw)
+}
+
+func (s *Server) predictCore(w http.ResponseWriter, req PredictRequest, ss *core.SavedSurfaces) {
 	points := req.Points
 	if req.Point != nil {
 		points = append([][]float64{req.Point}, points...)
@@ -136,15 +150,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSweep samples one response curve; like predict it is pure in the
+// surfaces, so responses are memoized under the model's ETag.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	ss, ok := s.model(w, req.Model)
+	body, ok := s.decodeBody(w, r, &req)
 	if !ok {
 		return
 	}
+	ss, etag, ok := s.taggedModel(w, req.Model)
+	if !ok {
+		return
+	}
+	key := memoKey("sweep", etag, body)
+	if s.memoServe(w, "sweep", key) {
+		return
+	}
+	cw := newCaptureWriter(w)
+	s.sweepCore(cw, req, ss)
+	s.memoStore(key, cw)
+}
+
+func (s *Server) sweepCore(w http.ResponseWriter, req SweepRequest, ss *core.SavedSurfaces) {
 	id := core.ResponseID(req.Response)
 	if _, ok := ss.Coef[id]; !ok {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "model has no response %q", req.Response)
@@ -394,6 +421,9 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, errBadEngine):
 			writeError(w, http.StatusBadRequest, codeBadField, "%v", err)
 		case errors.Is(err, ErrQueueFull):
+			// A full queue is back-pressure, not a permanent failure: tell
+			// the client when to come back, same contract as a 429 shed.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.loadCfg.RetryAfter))
 			writeError(w, http.StatusServiceUnavailable, codeQueueFull, "%v", err)
 		case errors.Is(err, ErrShuttingDown):
 			writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "%v", err)

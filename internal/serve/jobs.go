@@ -306,6 +306,13 @@ var ErrQueueFull = fmt.Errorf("serve: build queue is full")
 // layer maps it to 503/shutting_down.
 var ErrShuttingDown = fmt.Errorf("serve: job manager is shutting down")
 
+// QueueDepth reports how many builds wait behind the running one right
+// now — /healthz and the ehdoed_queue_depth gauge surface it.
+func (m *JobManager) QueueDepth() int { return len(m.queue) }
+
+// QueueCap reports the bounded queue's capacity.
+func (m *JobManager) QueueCap() int { return cap(m.queue) }
+
 // Get returns the snapshot of one job.
 func (m *JobManager) Get(id string) (JobView, bool) {
 	m.mu.Lock()

@@ -7,68 +7,105 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// Registry is a thread-safe collection of named, immutable surface sets.
-// Readers (the predict/sweep/optimize hot paths) take a shared lock only
-// long enough to fetch the pointer; a concurrent upload swaps the pointer
-// atomically under the write lock, so in-flight requests keep the version
-// they started with and new requests see the new one — hot-reload without
-// a stall.
+// Registry is a copy-on-write collection of named, immutable surface
+// sets. The serving hot paths (predict/sweep/optimize) read a snapshot
+// pointer with one atomic load — no lock, no reader-counter cache-line
+// contention under heavy concurrency — while writers (model upload,
+// delete, finished builds) copy the map under a mutex and swap the
+// pointer. In-flight requests keep the version they started with; new
+// requests see the new one: hot-reload without a stall.
+//
+// Every mutation stamps the touched model with a fresh ETag drawn from a
+// monotonic version counter. The response memo keys on that ETag, so a
+// hot-swap atomically invalidates every memoized response of the old
+// model: the new tag never matches the old keys, which age out of the
+// LRU. A deleted-then-reuploaded model gets a new tag too.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*core.SavedSurfaces
+	mu   sync.Mutex // serializes writers; readers never take it
+	snap atomic.Pointer[registrySnap]
+	ver  atomic.Uint64
+}
+
+type registrySnap struct {
+	models map[string]registryEntry
+}
+
+type registryEntry struct {
+	ss   *core.SavedSurfaces
+	etag string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*core.SavedSurfaces)}
+	r := &Registry{}
+	r.snap.Store(&registrySnap{models: map[string]registryEntry{}})
+	return r
 }
 
-// Get fetches a model by name.
+// Get fetches a model by name. Lock-free.
 func (r *Registry) Get(name string) (*core.SavedSurfaces, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ss, ok := r.models[name]
-	return ss, ok
+	e, ok := r.snap.Load().models[name]
+	return e.ss, ok
 }
 
-// Set registers (or atomically replaces) a model. The surfaces must not be
-// mutated after registration.
-func (r *Registry) Set(name string, ss *core.SavedSurfaces) {
+// GetTagged fetches a model and its current ETag — the memo key
+// ingredient that changes on every swap. Lock-free.
+func (r *Registry) GetTagged(name string) (*core.SavedSurfaces, string, bool) {
+	e, ok := r.snap.Load().models[name]
+	return e.ss, e.etag, ok
+}
+
+// mutate applies fn to a private copy of the model map and publishes it.
+func (r *Registry) mutate(fn func(models map[string]registryEntry)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.models[name] = ss
+	old := r.snap.Load().models
+	next := make(map[string]registryEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	fn(next)
+	r.snap.Store(&registrySnap{models: next})
+}
+
+// Set registers (or atomically replaces) a model under a fresh ETag. The
+// surfaces must not be mutated after registration.
+func (r *Registry) Set(name string, ss *core.SavedSurfaces) {
+	etag := fmt.Sprintf("%s@%d", name, r.ver.Add(1))
+	r.mutate(func(models map[string]registryEntry) {
+		models[name] = registryEntry{ss: ss, etag: etag}
+	})
 }
 
 // Delete removes a model, reporting whether it existed.
 func (r *Registry) Delete(name string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.models[name]
-	delete(r.models, name)
-	return ok
+	var existed bool
+	r.mutate(func(models map[string]registryEntry) {
+		_, existed = models[name]
+		delete(models, name)
+	})
+	return existed
 }
 
-// Names lists the registered model names, sorted.
+// Names lists the registered model names, sorted. Lock-free.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.models))
-	for name := range r.models {
+	models := r.snap.Load().models
+	out := make([]string, 0, len(models))
+	for name := range models {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Len reports the number of registered models.
+// Len reports the number of registered models. Lock-free.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.models)
+	return len(r.snap.Load().models)
 }
 
 // LoadDir registers every *.json saved-surfaces file in dir under its

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/obs"
 	"repro/internal/simcache"
 )
@@ -54,6 +56,9 @@ type Config struct {
 	// timeouts, lease sizing, retry budgets). The zero value uses the
 	// cluster package defaults; the coordinator is always mounted.
 	Cluster cluster.Config
+	// Load tunes admission control and the response memo; the zero value
+	// enables both with the defaults documented on LoadConfig.
+	Load LoadConfig
 }
 
 // Server wires the registry, job manager and observability into an
@@ -78,6 +83,17 @@ type Server struct {
 	latency    *obs.HistogramVec
 	deprecated *obs.CounterVec
 	faults     *obs.FaultStats
+
+	// Overload protection: per-endpoint admission limiters plus the
+	// model-versioned response memo, with their instruments.
+	loadCfg       LoadConfig
+	limits        map[string]*load.Limiter
+	memo          *load.Memo
+	admitted      *obs.CounterVec
+	shed          *obs.CounterVec
+	admissionWait *obs.HistogramVec
+	memoHits      *obs.CounterVec
+	memoMisses    *obs.CounterVec
 }
 
 // New builds a server, loading any models found in cfg.ModelsDir.
@@ -118,7 +134,9 @@ func New(cfg Config) (*Server, error) {
 		strictAPI: cfg.StrictAPI,
 		reg:       obs.NewRegistry(),
 		faults:    &obs.FaultStats{},
+		loadCfg:   cfg.Load.withDefaults(),
 	}
+	s.initAdmission(s.loadCfg)
 	s.reg.GaugeFunc("ehdoed_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return time.Since(s.started).Seconds()
 	})
@@ -161,6 +179,9 @@ func New(cfg Config) (*Server, error) {
 		BatchLanes:     batchLanes,
 		BatchAmortized: batchAmort,
 	})
+	s.reg.GaugeFunc("ehdoed_queue_depth",
+		"Build jobs waiting in the bounded queue behind the running one.",
+		func() float64 { return float64(s.jobs.QueueDepth()) })
 	s.routes()
 	if cfg.EnablePprof {
 		obs.MountPprof(s.mux)
@@ -200,10 +221,16 @@ func (s *Server) Shutdown(grace time.Duration) {
 
 func (s *Server) routes() {
 	for _, ep := range s.endpoints() {
-		s.mux.HandleFunc(ep.Method+" "+ep.Path, s.instrument(ep.Label, ep.handler))
+		h := ep.handler
+		if lim, ok := s.limits[ep.Label]; ok {
+			// Admission control sits inside instrument, so shed requests
+			// still get trace IDs, metrics and an access-log line.
+			h = s.admit(ep.Label, lim, h)
+		}
+		s.mux.HandleFunc(ep.Method+" "+ep.Path, s.instrument(ep.Label, h))
 		if ep.Method == "PUT" && ep.Path == "/v1/models/{name}" {
 			// Historical alias: POST uploads are accepted too.
-			s.mux.HandleFunc("POST "+ep.Path, s.instrument(ep.Label, ep.handler))
+			s.mux.HandleFunc("POST "+ep.Path, s.instrument(ep.Label, h))
 		}
 	}
 }
@@ -273,6 +300,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		Models:        s.registry.Len(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		QueueDepth:    s.jobs.QueueDepth(),
+		QueueCap:      s.jobs.QueueCap(),
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -306,7 +335,27 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 // Unknown fields are rejected (code bad_field) so typos fail loudly
 // instead of silently defaulting; trailing garbage is rejected too.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	_, ok := s.decodeBody(w, r, v)
+	return ok
+}
+
+// decodeBody is decodeJSON plus the raw bytes, for handlers that
+// fingerprint the request (the response memo keys on the exact body).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) ([]byte, bool) {
+	body, err := readAll(w, r, s.maxBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "reading body: %v", err)
+		return nil, false
+	}
+	if !decodeBytes(w, body, v) {
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeBytes applies the strict decode rules to an already-read body.
+func decodeBytes(w http.ResponseWriter, body []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		if strings.Contains(err.Error(), "unknown field") {
@@ -331,16 +380,23 @@ func readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error
 
 // model fetches the named model or answers 404.
 func (s *Server) model(w http.ResponseWriter, name string) (*core.SavedSurfaces, bool) {
+	ss, _, ok := s.taggedModel(w, name)
+	return ss, ok
+}
+
+// taggedModel fetches the named model plus its registry ETag (the memo
+// key ingredient), or answers 400/404.
+func (s *Server) taggedModel(w http.ResponseWriter, name string) (*core.SavedSurfaces, string, bool) {
 	if name == "" {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "missing model name")
-		return nil, false
+		return nil, "", false
 	}
-	ss, ok := s.registry.Get(name)
+	ss, etag, ok := s.registry.GetTagged(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, codeNotFound, "unknown model %q", name)
-		return nil, false
+		return nil, "", false
 	}
-	return ss, true
+	return ss, etag, true
 }
 
 // deprecateAmp handles a request that used the legacy "amp" field. The

@@ -118,7 +118,8 @@ var errorCodeDocs = []ErrorCodeView{
 	{codeProtoMismatch, "cluster protocol request speaks a different proto_version than this server"},
 	{codeNotFound, "unknown model or job"},
 	{codeConflict, "request is inconsistent with server state"},
-	{codeQueueFull, "build queue at capacity; retry later"},
+	{codeQueueFull, "build queue at capacity; retry after the Retry-After header"},
+	{codeOverloaded, "admission control shed the request; retry after the Retry-After header"},
 	{codeShuttingDown, "server is draining; no new work accepted"},
 	{codeClientClosed, "client disconnected mid-work"},
 	{codeNumericInvalid, "simulation produced NaN/Inf responses"},
