@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 BASELINE ?= bench_baseline.json
 TOLERANCE ?= 0.25
 

@@ -5,14 +5,15 @@
 // and — when given a committed baseline — fails with a non-zero exit if
 // any benchmark regressed past the tolerance band.
 //
-//	go run ./cmd/bench -out BENCH_9.json -baseline bench_baseline.json -tolerance 0.25
+//	go run ./cmd/bench -out BENCH_10.json -baseline bench_baseline.json -tolerance 0.25
 //
 // Comparisons use calibration-normalized time (see internal/benchkit), so
 // a baseline recorded on one machine remains meaningful on another. Under
 // the race detector every measurement is a different program; the harness
 // still writes a report but skips the baseline comparison. -quick drops
-// the slow fleet benchmarks for CI smoke runs; the baseline comparison
-// simply skips metrics the quick report does not carry.
+// the slow fleet and sustained-QPS benchmarks for CI smoke runs (-serve
+// keeps sustained-QPS even under -quick); the baseline comparison simply
+// skips metrics the quick report does not carry.
 package main
 
 import (
@@ -46,19 +47,20 @@ var (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "report output path")
+	out := flag.String("out", "BENCH_10.json", "report output path")
 	baseline := flag.String("baseline", "", "baseline report to compare against (empty: no comparison)")
 	tolerance := flag.Float64("tolerance", 0.25, "fractional regression tolerance (0.25 = +25%)")
-	quick := flag.Bool("quick", false, "skip the slow fleet benchmarks (CI smoke mode)")
+	quick := flag.Bool("quick", false, "skip the slow fleet and sustained-QPS benchmarks (CI smoke mode)")
+	serve := flag.Bool("serve", false, "keep the sustained-QPS serving benchmark even under -quick")
 	flag.Parse()
 
-	if err := run(*out, *baseline, *tolerance, *quick); err != nil {
+	if err := run(*out, *baseline, *tolerance, *quick, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baseline string, tolerance float64, quick bool) error {
+func run(out, baseline string, tolerance float64, quick, serve bool) error {
 	r := benchkit.NewReport()
 	fmt.Printf("calibration: %.0f ns/op\n", r.CalibrationNs)
 
@@ -217,10 +219,19 @@ func run(out, baseline string, tolerance float64, quick bool) error {
 		r.SetSpeedup("rsm_vs_sim", float64(fast.NsPerOp())/perPoint)
 	}
 
+	// --- adaptive vs fixed DoE builds (see adaptive.go) ---------------------
+	// Cheap enough to keep in quick mode: it is the fewer-sims-per-model
+	// gate of the adaptive strategy.
+	if err := benchAdaptiveSavings(r); err != nil {
+		return err
+	}
+
 	// --- sustained-QPS serving (see serveload.go) ---------------------------
-	// Runs even in quick mode: it is the overload-resilience gate, and a
-	// two-second open-loop run is cheap enough for CI smoke.
-	if err := benchSustainedQPS(r); err != nil {
+	// The overload-resilience gate. A two-second open-loop run is more than
+	// CI smoke wants, so -quick skips it unless -serve keeps it explicitly.
+	if quick && !serve {
+		fmt.Println("quick mode: skipping sustained-QPS benchmark (-serve keeps it)")
+	} else if err := benchSustainedQPS(r); err != nil {
 		return err
 	}
 

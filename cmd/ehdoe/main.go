@@ -4,7 +4,7 @@
 //
 // Subcommands:
 //
-//	ehdoe build    -design ccf|cci|bbd|lhs|dopt [-runs N] [-horizon 60] [-amp 0.6] -out surfaces.json
+//	ehdoe build    [-strategy fixed|adaptive] -design ccf|cci|bbd|lhs|dopt [-runs N] [-horizon 60] [-amp 0.6] -out surfaces.json
 //	ehdoe info     -model surfaces.json
 //	ehdoe predict  -model surfaces.json -at "period=5,supercap=0.05,vth=3.0,freq_off=0"
 //	ehdoe sweep    -model surfaces.json -response packets -factor period [-points 21]
@@ -149,8 +149,10 @@ func obsFlags(fs *flag.FlagSet) func() (context.Context, error) {
 
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	designName := fs.String("design", "ccf", "experiment design: ccf, cci, bbd, lhs or dopt")
-	runs := fs.Int("runs", 0, "run budget for lhs/dopt (default: CCF-equivalent)")
+	strategy := fs.String("strategy", core.StrategyFixed,
+		`build strategy: "fixed" simulates the whole -design up front, "adaptive" grows a D-optimal design and stops when the surfaces converge`)
+	designName := fs.String("design", "ccf", "experiment design: ccf, cci, bbd, lhs or dopt (fixed strategy only)")
+	runs := fs.Int("runs", 0, "run budget for lhs/dopt (default: CCF-equivalent; fixed strategy only)")
 	horizon := fs.Float64("horizon", 60, "simulated duration per run (s)")
 	amp := fs.Float64("amp", 0.6, "excitation amplitude (m/s²)")
 	seed := fs.Int64("seed", 1, "seed for randomized designs")
@@ -174,19 +176,45 @@ func cmdBuild(args []string) error {
 	k := len(p.Factors)
 	quad := rsm.FullQuadratic(k)
 
-	design, err := core.NamedDesign(*designName, k, *runs, *seed)
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("running %d simulations (%s, horizon %.0f s)...\n", design.N(), design.Name, *horizon)
-	ds, err := p.RunDesignContext(ctx, design, *workers)
-	if err != nil {
-		return err
-	}
-	s, err := p.BuildSurfaces(ds, quad)
-	if err != nil {
-		return err
+	var ds *core.Dataset
+	var s *core.Surfaces
+	var adaptive *core.AdaptiveStats
+	switch *strategy {
+	case core.StrategyFixed:
+		design, err := core.NamedDesign(*designName, k, *runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("running %d simulations (%s, horizon %.0f s)...\n", design.N(), design.Name, *horizon)
+		if ds, err = p.RunDesignContext(ctx, design, *workers); err != nil {
+			return err
+		}
+		if s, err = p.BuildSurfaces(ds, quad); err != nil {
+			return err
+		}
+	case core.StrategyAdaptive:
+		// The sequential loop picks its own points, so a design name or run
+		// budget here would be silently ignored — reject explicit ones.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "design" || f.Name == "runs" {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("build: %s cannot be combined with -strategy adaptive (the loop sizes the design itself)",
+				strings.Join(conflict, ", "))
+		}
+		fmt.Printf("adaptive build (k=%d, fixed reference %d runs, horizon %.0f s)...\n",
+			k, core.FixedEquivalentPoints(k), *horizon)
+		res, err := p.RunAdaptive(ctx, core.AdaptiveConfig{Seed: *seed, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		ds, s, adaptive = res.Dataset, res.Surfaces, res.Stats
+	default:
+		return fmt.Errorf("build: unknown strategy %q (want %q or %q)",
+			*strategy, core.StrategyFixed, core.StrategyAdaptive)
 	}
 	saved := s.SaveWithData(ds)
 	data, err := saved.Encode()
@@ -208,6 +236,15 @@ func cmdBuild(args []string) error {
 			st.Hits, st.DiskHits, st.DedupHits, st.Misses)
 	}
 	fmt.Println(t.String())
+	if adaptive != nil {
+		rt := report.NewTable("adaptive rounds", "round", "added", "points", "min R2", "min adjR2", "min R2pred")
+		for _, r := range adaptive.Rounds {
+			rt.AddRow(r.Round, r.Added, r.Points, r.MinR2, r.MinAdjR2, r.MinR2Pred)
+		}
+		rt.AddNote("stopped: %s after %d points (fixed-strategy reference costs %d — %d simulations skipped)",
+			adaptive.StopReason, adaptive.PointsSimulated, adaptive.FixedPoints, adaptive.PointsSkipped)
+		fmt.Println(rt.String())
+	}
 	return nil
 }
 
@@ -533,7 +570,7 @@ func cmdANOVA(args []string) error {
 		f := ts[i] * ts[i]
 		t.AddRow("  "+term.Label(names), 1, f*fit.Sigma2, f, ps[i])
 	}
-	t.AddNote("R² %.4f, adjusted %.4f, PRESS %.4f", fit.R2, fit.AdjR2, fit.R2Pred)
+	t.AddNote("R² %.4f, adjusted %.4f, R²-pred %.4f (PRESS %.4g)", fit.R2, fit.AdjR2, fit.R2Pred, fit.PRESS)
 	if lof, err := fit.LackOfFitTest(ss.DesignRuns, ss.DataY[core.ResponseID(*response)]); err == nil {
 		t.AddNote("lack of fit: F = %.4g, p = %.4g (%d replicate groups)", lof.F, lof.P, lof.Replicates)
 	} else {

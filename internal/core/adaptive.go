@@ -1,0 +1,468 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/obs"
+	"repro/internal/rsm"
+)
+
+// Build strategies accepted by BuildDataset-style entry points. "fixed"
+// simulates a whole named design up front (the original flow, bit-identical
+// to previous releases); "adaptive" grows the design sequentially, adding
+// D-optimal points only while they still improve the surfaces.
+const (
+	StrategyFixed    = "fixed"
+	StrategyAdaptive = "adaptive"
+)
+
+// FixedEquivalentPoints returns the run count of the fixed-strategy
+// reference design — the "ccf" default of 2^k corners, 2k axial points and
+// 3 centre runs — that an adaptive build's savings are measured against.
+func FixedEquivalentPoints(k int) int { return 1<<uint(k) + 2*k + 3 }
+
+// adaptiveMaxPasses caps the Fedorov exchange passes of the per-round
+// D-optimal selections. The full 20-pass default squeezes the last fraction
+// of a percent of det(XᵀX) out of a one-shot design, but here each round
+// only steers where the *next* simulations land, and the k=6 five-level
+// lattice has 15625 candidates — a handful of passes captures virtually all
+// of the gain at a tenth of the selection cost.
+const adaptiveMaxPasses = 4
+
+// AdaptiveConfig tunes the sequential build loop. The zero value picks
+// defaults suitable for the full-quadratic models the toolkit fits.
+type AdaptiveConfig struct {
+	// Model defaults to rsm.FullQuadratic(k).
+	Model rsm.Model
+	// CandidateLevels is the per-factor resolution of the quantized
+	// candidate lattice (default 5 → levels −1, −0.5, 0, 0.5, 1 — the
+	// opt.Quantized step-0.25 grid, so optimizer revisits hit the simcache).
+	CandidateLevels int
+	// InitialPoints is the size of the round-0 D-optimal design
+	// (default p+2). CenterReplicates centre copies are appended on top
+	// (default 2) so the lack-of-fit decomposition has pure-error DoF.
+	InitialPoints    int
+	CenterReplicates int
+	// BatchPoints is the number of D-optimal augmentation points added per
+	// round (default k).
+	BatchPoints int
+	// MinPoints and MaxPoints bound the total budget. The loop never stops
+	// below MinPoints (default: the initial design plus one augmentation
+	// round) and always stops at MaxPoints (default: the fixed-strategy
+	// reference count, so an adaptive build never costs more than fixed).
+	MinPoints int
+	MaxPoints int
+	// Alpha is the lack-of-fit significance level (default 0.05): the
+	// F-test must fail to reject adequacy, when it is defined.
+	Alpha float64
+	// LackFraction accepts adequacy when LackSS ≤ LackFraction·TotalSS.
+	// This is the deterministic-simulator escape hatch: bit-identical
+	// replicates make pure error exactly zero, so the F-test degenerates to
+	// "any lack is infinitely significant" and a relative lack bound has to
+	// stand in (default 0.02 — the unexplained systematic fraction).
+	LackFraction float64
+	// LackTol additionally accepts adequacy when the lack fraction improved
+	// by less than this between rounds — the surface is as adequate as the
+	// polynomial basis will get (default 0.005).
+	LackTol float64
+	// AdjR2Tol and PRESSTol are the improvement thresholds of the stopping
+	// rule: stop once a round improves the worst-case adjusted R² by less
+	// than AdjR2Tol (default 0.02) and the worst-case PRESS-based R²-pred by
+	// less than PRESSTol (default 0.1). R²-pred (= 1 − PRESS/TotalSS) is the
+	// scale-free form of PRESS: raw PRESS grows with every appended point
+	// simply because TotalSS does, so a threshold on it would chase its own
+	// tail and never fire.
+	AdjR2Tol float64
+	PRESSTol float64
+	// Seed feeds the initial D-optimal selection.
+	Seed int64
+	// Workers is the per-round simulation parallelism (≤0 = GOMAXPROCS).
+	Workers int
+	// RunDesign, when set, executes one round's design instead of the local
+	// RunDesignContext pool — the seam the cluster coordinator plugs into.
+	// Either way each round inherits the full PR 4/8 machinery: retries,
+	// deadlines, batch prepass, cache, cancellation.
+	RunDesign func(ctx context.Context, d *doe.Design) (*Dataset, error)
+}
+
+func (c *AdaptiveConfig) setDefaults(k int, model rsm.Model) {
+	p := model.P()
+	if c.CandidateLevels < 2 {
+		c.CandidateLevels = 5
+	}
+	if c.InitialPoints <= 0 {
+		c.InitialPoints = p + 2
+	}
+	if c.InitialPoints < p {
+		c.InitialPoints = p
+	}
+	if c.CenterReplicates < 0 {
+		c.CenterReplicates = 0
+	} else if c.CenterReplicates == 0 {
+		c.CenterReplicates = 2
+	}
+	if c.BatchPoints <= 0 {
+		c.BatchPoints = k
+	}
+	if c.MinPoints <= 0 {
+		c.MinPoints = c.InitialPoints + c.CenterReplicates + c.BatchPoints
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = FixedEquivalentPoints(k)
+	}
+	if c.MaxPoints < c.MinPoints {
+		c.MaxPoints = c.MinPoints
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.05
+	}
+	if c.LackFraction <= 0 {
+		c.LackFraction = 0.02
+	}
+	if c.LackTol <= 0 {
+		c.LackTol = 0.005
+	}
+	if c.AdjR2Tol <= 0 {
+		c.AdjR2Tol = 0.02
+	}
+	if c.PRESSTol <= 0 {
+		c.PRESSTol = 0.1
+	}
+}
+
+// AdaptiveRound is one round's worth of per-round statistics, echoed into
+// JobView so API clients can watch a build converge.
+type AdaptiveRound struct {
+	Round  int `json:"round"`
+	Added  int `json:"added"`  // points simulated this round
+	Points int `json:"points"` // cumulative points
+	// Worst-case fit quality across the problem's responses.
+	MinR2     float64 `json:"min_r2"`
+	MinAdjR2  float64 `json:"min_adj_r2"`
+	MinR2Pred float64 `json:"min_r2_pred"`
+	// WorstLackP is the smallest lack-of-fit p-value across responses, or
+	// −1 when the F-test is undefined (no replication yet). WorstLackFrac
+	// is the largest LackSS/TotalSS fraction.
+	WorstLackP    float64 `json:"worst_lof_p"`
+	WorstLackFrac float64 `json:"worst_lack_frac"`
+}
+
+// Adaptive stop reasons.
+const (
+	StopConverged = "converged"  // stopping rule satisfied
+	StopMaxPoints = "max_points" // point budget exhausted first
+)
+
+// AdaptiveStats summarizes an adaptive build for JobView, metrics and the
+// benchmark harness.
+type AdaptiveStats struct {
+	Rounds          []AdaptiveRound `json:"rounds"`
+	PointsSimulated int             `json:"points_simulated"`
+	FixedPoints     int             `json:"fixed_points"`   // fixed-strategy reference cost
+	PointsSkipped   int             `json:"points_skipped"` // max(0, FixedPoints − PointsSimulated)
+	StopReason      string          `json:"stop_reason"`
+}
+
+// AdaptiveResult is the outcome of an adaptive build: the cumulative
+// dataset, the final surfaces (batch-refit, bit-identical to fitting the
+// same dataset with BuildSurfaces) and the per-round statistics.
+type AdaptiveResult struct {
+	Dataset  *Dataset
+	Surfaces *Surfaces
+	Stats    *AdaptiveStats
+}
+
+// roundQuality is the per-round convergence state across all responses.
+type roundQuality struct {
+	minR2, minAdjR2, minR2Pred float64
+	worstLackP                 float64 // −1 when undefined
+	worstLackFrac              float64
+	lofOK                      bool // every response passes a lack-of-fit gate
+}
+
+// RunAdaptive grows a design sequentially: simulate a small D-optimal
+// seed, refit incrementally, and keep adding the D-optimally most
+// informative lattice points until the stopping rule — lack of fit
+// acceptable AND adjusted-R²/PRESS improvement below threshold — fires, or
+// the point budget runs out. Every round's simulations go through the same
+// pool as a fixed build (retries, deadlines, batch prepass, cluster
+// leases, simcache all apply unchanged).
+//
+// On a round failure the partial cumulative Dataset (Y-less, carrying
+// timing and fault-recovery stats) is returned alongside the error, like
+// RunDesignContext does.
+func (p *Problem) RunAdaptive(ctx context.Context, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(p.Factors)
+	if k < 2 {
+		return nil, fmt.Errorf("core: adaptive builds need ≥2 factors, got %d", k)
+	}
+	model := cfg.Model
+	if model.K == 0 {
+		model = rsm.FullQuadratic(k)
+	}
+	if model.K != k {
+		return nil, fmt.Errorf("core: model has %d factors, problem has %d", model.K, k)
+	}
+	cfg.setDefaults(k, model)
+	lg := obs.FromContext(ctx)
+
+	candidates, err := doe.CandidateLattice(k, cfg.CandidateLevels)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InitialPoints > candidates.N() {
+		return nil, fmt.Errorf("core: initial design (%d points) exceeds the %d-point candidate lattice; raise CandidateLevels", cfg.InitialPoints, candidates.N())
+	}
+	initial, err := doe.DOptimal(candidates, cfg.InitialPoints, model.Row, cfg.Seed, adaptiveMaxPasses)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CenterReplicates > 0 {
+		centre := &doe.Design{Name: "centre", Runs: make([][]float64, cfg.CenterReplicates)}
+		for i := range centre.Runs {
+			centre.Runs[i] = make([]float64, k)
+		}
+		if initial, err = initial.Append(centre); err != nil {
+			return nil, err
+		}
+	}
+
+	runRound := cfg.RunDesign
+	if runRound == nil {
+		runRound = func(ctx context.Context, d *doe.Design) (*Dataset, error) {
+			return p.RunDesignContext(ctx, d, cfg.Workers)
+		}
+	}
+
+	fitters := make(map[ResponseID]*rsm.Fitter, len(p.Responses))
+	for _, id := range p.Responses {
+		f, err := rsm.NewFitter(model)
+		if err != nil {
+			return nil, err
+		}
+		fitters[id] = f
+	}
+
+	cum := &Dataset{
+		Design: &doe.Design{Name: fmt.Sprintf("adaptive(k=%d)", k)},
+		Y:      make(map[ResponseID][]float64, len(p.Responses)),
+	}
+	stats := &AdaptiveStats{FixedPoints: FixedEquivalentPoints(k)}
+	start := time.Now()
+
+	// absorb merges one round's dataset into the cumulative one and feeds
+	// the incremental fitters.
+	absorb := func(ds *Dataset) error {
+		cum.SimWork += ds.SimWork
+		cum.Retries += ds.Retries
+		cum.PanicsRecovered += ds.PanicsRecovered
+		if ds.Batch != nil {
+			if cum.Batch == nil {
+				cum.Batch = &BatchStats{}
+			}
+			cum.Batch.Points += ds.Batch.Points
+			cum.Batch.Peeled += ds.Batch.Peeled
+			cum.Batch.Lanes += ds.Batch.Lanes
+			cum.Batch.Chunks += ds.Batch.Chunks
+			cum.Batch.Rebuilds += ds.Batch.Rebuilds
+			cum.Batch.AmortizedRebuilds += ds.Batch.AmortizedRebuilds
+		}
+		if ds.Y == nil {
+			return nil
+		}
+		cum.Design.Runs = append(cum.Design.Runs, ds.Design.Runs...)
+		for _, id := range p.Responses {
+			cum.Y[id] = append(cum.Y[id], ds.Y[id]...)
+			for i, run := range ds.Design.Runs {
+				if err := fitters[id].Append(run, ds.Y[id][i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	fail := func(err error) (*AdaptiveResult, error) {
+		cum.SimTime = time.Since(start)
+		// Even a failed build reports the points its completed rounds cost.
+		stats.PointsSimulated = cum.Design.N()
+		cum.Y = nil
+		return &AdaptiveResult{Dataset: cum, Stats: stats}, err
+	}
+
+	// quality evaluates the current incremental fits against the stopping
+	// gates.
+	quality := func(cfgAlpha float64) (*roundQuality, error) {
+		q := &roundQuality{
+			minR2: math.Inf(1), minAdjR2: math.Inf(1), minR2Pred: math.Inf(1),
+			worstLackP: math.Inf(1), lofOK: true,
+		}
+		anyLackP := false
+		for _, id := range p.Responses {
+			f := fitters[id]
+			snap, err := f.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("core: refitting %q: %w", id, err)
+			}
+			// Near-constant response: the simulator answered (almost)
+			// the same value everywhere, so TotalSS is rounding dust and
+			// every R²/lack ratio is numerical noise, not information.
+			// Any surface explains a constant — treat it as trivially
+			// adequate instead of letting noise block convergence.
+			var sumYY float64
+			for _, y := range f.Ys() {
+				sumYY += y * y
+			}
+			if snap.TotalSS <= 1e-12*math.Max(sumYY, 1e-300) {
+				continue
+			}
+			q.minR2 = math.Min(q.minR2, snap.R2)
+			q.minAdjR2 = math.Min(q.minAdjR2, snap.AdjR2)
+			q.minR2Pred = math.Min(q.minR2Pred, snap.R2Pred)
+			lackFrac := 0.0
+			lofPass := false
+			lof, lerr := snap.LackOfFitTest(f.Runs(), f.Ys())
+			if lerr == nil {
+				if snap.TotalSS > 0 {
+					lackFrac = lof.LackSS / snap.TotalSS
+				}
+				if !math.IsNaN(lof.P) {
+					anyLackP = true
+					q.worstLackP = math.Min(q.worstLackP, lof.P)
+					lofPass = lof.P >= cfgAlpha
+				}
+			} else if snap.TotalSS > 0 {
+				// No replication (or DoF exhausted): the F-test is
+				// undefined; judge adequacy on the residual fraction alone.
+				lackFrac = snap.ResidualSS / snap.TotalSS
+			}
+			q.worstLackFrac = math.Max(q.worstLackFrac, lackFrac)
+			if !lofPass && lackFrac > cfg.LackFraction {
+				q.lofOK = false
+			}
+		}
+		if !anyLackP {
+			q.worstLackP = -1
+		}
+		if math.IsInf(q.minR2, 1) {
+			// Every response was near-constant: nothing left to learn.
+			q.minR2, q.minAdjR2, q.minR2Pred = 1, 1, 1
+		}
+		return q, nil
+	}
+
+	record := func(round, added int, q *roundQuality) {
+		stats.Rounds = append(stats.Rounds, AdaptiveRound{
+			Round: round, Added: added, Points: cum.Design.N(),
+			MinR2: q.minR2, MinAdjR2: q.minAdjR2, MinR2Pred: q.minR2Pred,
+			WorstLackP: q.worstLackP, WorstLackFrac: q.worstLackFrac,
+		})
+	}
+
+	// Round 0: the seed design.
+	initial.Name = "adaptive-r0"
+	lg.Info("adaptive build started", "k", k, "initial", initial.N(),
+		"batch", cfg.BatchPoints, "min", cfg.MinPoints, "max", cfg.MaxPoints)
+	ds, err := runRound(ctx, initial)
+	if ds != nil {
+		if aerr := absorb(ds); err == nil && aerr != nil {
+			err = aerr
+		}
+	}
+	if err != nil {
+		return fail(err)
+	}
+	prev, err := quality(cfg.Alpha)
+	if err != nil {
+		return fail(err)
+	}
+	record(0, initial.N(), prev)
+
+	for round := 1; ; round++ {
+		if cum.Design.N() >= cfg.MaxPoints {
+			stats.StopReason = StopMaxPoints
+			break
+		}
+		add := cfg.BatchPoints
+		if cum.Design.N()+add > cfg.MaxPoints {
+			add = cfg.MaxPoints - cum.Design.N()
+		}
+		augmented, err := doe.AugmentDOptimal(cum.Design, candidates, add, model.Row, adaptiveMaxPasses)
+		if err != nil {
+			return fail(err)
+		}
+		roundDesign := &doe.Design{
+			Name: fmt.Sprintf("adaptive-r%d", round),
+			Runs: augmented.Runs[cum.Design.N():],
+		}
+		ds, err := runRound(ctx, roundDesign)
+		if ds != nil {
+			if aerr := absorb(ds); err == nil && aerr != nil {
+				err = aerr
+			}
+		}
+		if err != nil {
+			return fail(err)
+		}
+		cur, err := quality(cfg.Alpha)
+		if err != nil {
+			return fail(err)
+		}
+		record(round, roundDesign.N(), cur)
+		lg.Debug("adaptive round", "round", round, "points", cum.Design.N(),
+			"min_r2", cur.minR2, "worst_lack_frac", cur.worstLackFrac)
+
+		// Budget exhaustion takes precedence over the converged label: a
+		// build that used its whole budget reports max_points even when the
+		// last round also happened to satisfy the stopping rule.
+		if cum.Design.N() >= cfg.MaxPoints {
+			stats.StopReason = StopMaxPoints
+			break
+		}
+		if cum.Design.N() >= cfg.MinPoints && converged(prev, cur, &cfg) {
+			stats.StopReason = StopConverged
+			break
+		}
+		prev = cur
+	}
+
+	cum.SimTime = time.Since(start)
+	stats.PointsSimulated = cum.Design.N()
+	if skipped := stats.FixedPoints - stats.PointsSimulated; skipped > 0 {
+		stats.PointsSkipped = skipped
+	}
+	surfaces, err := p.BuildSurfaces(cum, model)
+	if err != nil {
+		return fail(err)
+	}
+	lg.Info("adaptive build finished", "points", stats.PointsSimulated,
+		"fixed_points", stats.FixedPoints, "rounds", len(stats.Rounds),
+		"stop", stats.StopReason)
+	return &AdaptiveResult{Dataset: cum, Surfaces: surfaces, Stats: stats}, nil
+}
+
+// converged applies the stopping rule: every response's lack of fit is
+// acceptable (F-test not significant, relative lack below LackFraction, or
+// lack no longer improving by LackTol) AND the round's improvement in both
+// worst-case adjusted R² and worst-case PRESS-based R²-pred is below
+// threshold.
+func converged(prev, cur *roundQuality, cfg *AdaptiveConfig) bool {
+	lofOK := cur.lofOK || (prev.worstLackFrac-cur.worstLackFrac) < cfg.LackTol
+	if !lofOK {
+		return false
+	}
+	if cur.minAdjR2-prev.minAdjR2 >= cfg.AdjR2Tol {
+		return false
+	}
+	if cur.minR2Pred-prev.minR2Pred >= cfg.PRESSTol {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/doe"
+	"repro/internal/rsm"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// seamProblem is a problem whose rounds are answered analytically through
+// the RunDesign seam, so the adaptive loop's control flow is tested without
+// any simulator in the way (exactly how the cluster coordinator plugs in).
+func seamProblem(k int) *Problem {
+	factors := make([]doe.Factor, k)
+	for i := range factors {
+		factors[i] = doe.Factor{Name: fmt.Sprintf("f%d", i), Min: -1, Max: 1}
+	}
+	return &Problem{
+		Factors:   factors,
+		Responses: []ResponseID{RespHarvestedPower, RespNetMargin},
+		Horizon:   1,
+		Build: func(nat []float64) (Scenario, error) {
+			return Scenario{}, fmt.Errorf("seam tests must not reach the simulator")
+		},
+	}
+}
+
+// analyticSeam answers each round from the given truth functions and counts
+// rounds and points.
+func analyticSeam(p *Problem, truth map[ResponseID]func([]float64) float64, rounds *[]string, points *int) func(context.Context, *doe.Design) (*Dataset, error) {
+	return func(_ context.Context, d *doe.Design) (*Dataset, error) {
+		if rounds != nil {
+			*rounds = append(*rounds, d.Name)
+		}
+		if points != nil {
+			*points += d.N()
+		}
+		ds := &Dataset{Design: d, Y: make(map[ResponseID][]float64, len(truth)), SimWork: time.Duration(d.N())}
+		for _, id := range p.Responses {
+			col := make([]float64, d.N())
+			for i, run := range d.Runs {
+				col[i] = truth[id](run)
+			}
+			ds.Y[id] = col
+		}
+		return ds, nil
+	}
+}
+
+// quadTruth is exactly representable by the full-quadratic model, so lack of
+// fit vanishes once the design identifies it and the loop must stop early.
+func quadTruth(x []float64) float64 {
+	s := 1.0
+	for j, v := range x {
+		s += float64(j+1)*0.5*v - 0.3*v*v
+		if j > 0 {
+			s += 0.2 * v * x[j-1]
+		}
+	}
+	return s
+}
+
+// spikyTruth is far outside the quadratic basis: lack of fit never clears.
+func spikyTruth(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Sin(9 * v)
+	}
+	return s
+}
+
+func TestAdaptiveConvergesOnQuadraticTruth(t *testing.T) {
+	p := seamProblem(3)
+	truth := map[ResponseID]func([]float64) float64{
+		RespHarvestedPower: quadTruth,
+		RespNetMargin:      func(x []float64) float64 { return 2 - quadTruth(x) },
+	}
+	var rounds []string
+	var points int
+	res, err := p.RunAdaptive(context.Background(), AdaptiveConfig{
+		InitialPoints: 12, CenterReplicates: 2, BatchPoints: 3, MaxPoints: 60, Seed: 7,
+		RunDesign: analyticSeam(p, truth, &rounds, &points),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StopReason != StopConverged {
+		t.Fatalf("quadratic truth must converge, got %q after %d points", res.Stats.StopReason, res.Stats.PointsSimulated)
+	}
+	if n := res.Stats.PointsSimulated; n > 26 {
+		t.Fatalf("an exactly-quadratic truth must stop near the minimum budget, used %d points", n)
+	}
+	if res.Stats.PointsSimulated != points {
+		t.Fatalf("stats claim %d points, seam saw %d", res.Stats.PointsSimulated, points)
+	}
+	if res.Stats.PointsSimulated != res.Dataset.Design.N() {
+		t.Fatalf("dataset has %d runs, stats claim %d", res.Dataset.Design.N(), res.Stats.PointsSimulated)
+	}
+	// Round names and per-round stats must line up for JobView consumers.
+	for i, name := range rounds {
+		if want := fmt.Sprintf("adaptive-r%d", i); name != want {
+			t.Fatalf("round %d design named %q, want %q", i, name, want)
+		}
+	}
+	if len(res.Stats.Rounds) != len(rounds) {
+		t.Fatalf("%d round stats for %d executed rounds", len(res.Stats.Rounds), len(rounds))
+	}
+	sum := 0
+	for i, r := range res.Stats.Rounds {
+		if r.Round != i {
+			t.Fatalf("round index %d at position %d", r.Round, i)
+		}
+		sum += r.Added
+		if r.Points != sum {
+			t.Fatalf("round %d cumulative points %d, want %d", i, r.Points, sum)
+		}
+	}
+	if sum != res.Stats.PointsSimulated {
+		t.Fatalf("round Added sums to %d, stats claim %d", sum, res.Stats.PointsSimulated)
+	}
+	// The fit must reproduce the analytic truth (it is inside the basis).
+	for _, x := range [][]float64{{0.3, -0.7, 0.1}, {-1, 1, -1}, {0.25, 0.25, -0.5}} {
+		got, err := res.Surfaces.Predict(RespHarvestedPower, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := quadTruth(x); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("surface predicts %v at %v, truth is %v", got, x, want)
+		}
+	}
+	// Savings bookkeeping against the fixed reference.
+	if res.Stats.FixedPoints != FixedEquivalentPoints(3) {
+		t.Fatalf("fixed reference %d, want %d", res.Stats.FixedPoints, FixedEquivalentPoints(3))
+	}
+	if res.Stats.PointsSkipped != res.Stats.FixedPoints-res.Stats.PointsSimulated {
+		t.Fatalf("skipped %d, want %d", res.Stats.PointsSkipped, res.Stats.FixedPoints-res.Stats.PointsSimulated)
+	}
+}
+
+func TestAdaptiveStopsAtMaxPoints(t *testing.T) {
+	p := seamProblem(3)
+	truth := map[ResponseID]func([]float64) float64{
+		RespHarvestedPower: spikyTruth,
+		RespNetMargin:      func(x []float64) float64 { return spikyTruth(x) + x[0] },
+	}
+	res, err := p.RunAdaptive(context.Background(), AdaptiveConfig{
+		InitialPoints: 12, CenterReplicates: 2, BatchPoints: 6, MinPoints: 23, MaxPoints: 23, Seed: 7,
+		RunDesign: analyticSeam(p, truth, nil, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StopReason != StopMaxPoints {
+		t.Fatalf("spiky truth must exhaust the budget, got %q", res.Stats.StopReason)
+	}
+	// The final round is clipped so the budget is hit exactly, never passed.
+	if res.Stats.PointsSimulated != 23 {
+		t.Fatalf("budget of 23 must be hit exactly, simulated %d", res.Stats.PointsSimulated)
+	}
+	// The k=3 fixed reference (17 runs) is below this budget, so the
+	// skipped count clamps at zero rather than going negative.
+	if res.Stats.PointsSkipped != 0 {
+		t.Fatalf("skipped must clamp at 0 when adaptive costs more, got %d", res.Stats.PointsSkipped)
+	}
+}
+
+func TestAdaptiveDeterministicAndOnLattice(t *testing.T) {
+	truth := map[ResponseID]func([]float64) float64{
+		RespHarvestedPower: spikyTruth,
+		RespNetMargin:      quadTruth,
+	}
+	run := func(seed int64) *AdaptiveResult {
+		p := seamProblem(3)
+		res, err := p.RunAdaptive(context.Background(), AdaptiveConfig{
+			InitialPoints: 12, CenterReplicates: 2, BatchPoints: 3, MaxPoints: 30, Seed: seed,
+			RunDesign: analyticSeam(p, truth, nil, nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(3), run(3)
+	if a.Stats.PointsSimulated != b.Stats.PointsSimulated {
+		t.Fatalf("same seed, different budgets: %d vs %d", a.Stats.PointsSimulated, b.Stats.PointsSimulated)
+	}
+	for i, run := range a.Dataset.Design.Runs {
+		for j, v := range run {
+			if math.Float64bits(v) != math.Float64bits(b.Dataset.Design.Runs[i][j]) {
+				t.Fatalf("run %d differs between identical seeds", i)
+			}
+		}
+	}
+	for j := range a.Surfaces.Fits[RespNetMargin].Coef {
+		if math.Float64bits(a.Surfaces.Fits[RespNetMargin].Coef[j]) != math.Float64bits(b.Surfaces.Fits[RespNetMargin].Coef[j]) {
+			t.Fatal("coefficients differ between identical seeds")
+		}
+	}
+	// Every selected point sits on the quantized candidate lattice, so
+	// optimizer revisits and reruns hit the simcache.
+	for i, run := range a.Dataset.Design.Runs {
+		for _, v := range run {
+			if q := math.Round((v+1)/0.5) * 0.5; math.Abs(v-(q-1)) > 1e-12 {
+				t.Fatalf("run %d coordinate %v is off the default 5-level lattice", i, v)
+			}
+		}
+	}
+}
+
+func TestAdaptivePartialDatasetOnRoundFailure(t *testing.T) {
+	p := seamProblem(3)
+	truth := map[ResponseID]func([]float64) float64{
+		RespHarvestedPower: spikyTruth,
+		RespNetMargin:      quadTruth,
+	}
+	inner := analyticSeam(p, truth, nil, nil)
+	calls := 0
+	res, err := p.RunAdaptive(context.Background(), AdaptiveConfig{
+		InitialPoints: 12, CenterReplicates: 2, BatchPoints: 3, MinPoints: 30, MaxPoints: 40, Seed: 7,
+		RunDesign: func(ctx context.Context, d *doe.Design) (*Dataset, error) {
+			calls++
+			if calls == 3 {
+				// A mid-round failure still hands back whatever stats the
+				// round produced, like RunDesignContext does.
+				return &Dataset{Design: &doe.Design{}, SimWork: time.Millisecond, Retries: 2}, errors.New("round blew up")
+			}
+			return inner(ctx, d)
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "round blew up") {
+		t.Fatalf("round failure must surface, got %v", err)
+	}
+	if res == nil || res.Dataset == nil {
+		t.Fatal("failed build must still return the partial dataset")
+	}
+	if res.Dataset.Y != nil {
+		t.Fatal("partial dataset must be Y-less, like a failed fixed build")
+	}
+	if res.Dataset.Retries != 2 {
+		t.Fatalf("failed round's fault stats must be merged, got %d retries", res.Dataset.Retries)
+	}
+	if res.Surfaces != nil {
+		t.Fatal("no surfaces on failure")
+	}
+	if len(res.Stats.Rounds) != 2 {
+		t.Fatalf("the two completed rounds must keep their stats, got %d", len(res.Stats.Rounds))
+	}
+}
+
+func TestAdaptiveContextCancelMidBuild(t *testing.T) {
+	p := seamProblem(3)
+	truth := map[ResponseID]func([]float64) float64{
+		RespHarvestedPower: spikyTruth,
+		RespNetMargin:      quadTruth,
+	}
+	inner := analyticSeam(p, truth, nil, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	_, err := p.RunAdaptive(ctx, AdaptiveConfig{
+		InitialPoints: 12, CenterReplicates: 2, BatchPoints: 3, MaxPoints: 40, Seed: 7,
+		RunDesign: func(ctx context.Context, d *doe.Design) (*Dataset, error) {
+			calls++
+			if calls == 2 {
+				cancel()
+				return nil, ctx.Err()
+			}
+			return inner(ctx, d)
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation must propagate, got %v", err)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	// Single-factor problems have no useful D-optimal augmentation.
+	p1 := seamProblem(1)
+	if _, err := p1.RunAdaptive(context.Background(), AdaptiveConfig{}); err == nil {
+		t.Fatal("k=1 must be rejected")
+	}
+	// Model width must match the problem.
+	p := seamProblem(3)
+	if _, err := p.RunAdaptive(context.Background(), AdaptiveConfig{Model: rsm.FullQuadratic(2)}); err == nil {
+		t.Fatal("model/problem factor mismatch must be rejected")
+	}
+	// The candidate lattice must be able to seat the initial design.
+	if _, err := p.RunAdaptive(context.Background(), AdaptiveConfig{CandidateLevels: 2, InitialPoints: 20}); err == nil || !strings.Contains(err.Error(), "candidate lattice") {
+		t.Fatalf("oversized initial design must name the lattice, got %v", err)
+	}
+}
+
+// flakySimRunner delegates to a real runner but fails transiently every
+// few calls — faults landing mid-round, which the per-round pool must
+// absorb through its retry budget.
+type flakySimRunner struct {
+	inner simcache.Runner
+	calls atomic.Int64
+	every int64
+	fails atomic.Int64
+}
+
+func (r *flakySimRunner) Run(ctx context.Context, engine string, fn simcache.Engine, d sim.Design, cfg sim.Config) (*sim.Result, error) {
+	if r.calls.Add(1)%r.every == 0 {
+		r.fails.Add(1)
+		return nil, transientErr{}
+	}
+	return r.inner.Run(ctx, engine, fn, d, cfg)
+}
+
+// TestAdaptiveChaosFaultsMidRound is the end-to-end resilience gate for the
+// sequential strategy: a real four-factor problem, real simulations, and a
+// runner that keeps failing transiently mid-round. The build must converge
+// through the ordinary retry machinery with the faults visible in the
+// dataset's stats.
+func TestAdaptiveChaosFaultsMidRound(t *testing.T) {
+	p := StandardProblem(1.0, 0.5)
+	flaky := &flakySimRunner{inner: simcache.New(simcache.Options{}), every: 7}
+	p.Runner = flaky
+	p.Retry.MaxAttempts = 4
+	p.Retry.BaseDelay = time.Millisecond
+	p.Retry.MaxDelay = 2 * time.Millisecond
+
+	res, err := p.RunAdaptive(context.Background(), AdaptiveConfig{Seed: 4, Workers: 4})
+	if err != nil {
+		t.Fatalf("adaptive build must ride out transient mid-round faults: %v", err)
+	}
+	if flaky.fails.Load() == 0 {
+		t.Fatal("test impotent: no faults were injected")
+	}
+	if res.Dataset.Retries == 0 {
+		t.Fatal("retries must be visible in the cumulative dataset")
+	}
+	if res.Stats.StopReason != StopConverged && res.Stats.StopReason != StopMaxPoints {
+		t.Fatalf("unexpected stop reason %q", res.Stats.StopReason)
+	}
+	if res.Stats.PointsSimulated > FixedEquivalentPoints(4) {
+		t.Fatalf("adaptive build must never cost more than the fixed reference: %d > %d",
+			res.Stats.PointsSimulated, FixedEquivalentPoints(4))
+	}
+	if res.Surfaces == nil {
+		t.Fatal("converged build must carry surfaces")
+	}
+	for _, id := range p.Responses {
+		if len(res.Dataset.Y[id]) != res.Stats.PointsSimulated {
+			t.Fatalf("response %q has %d values for %d points", id, len(res.Dataset.Y[id]), res.Stats.PointsSimulated)
+		}
+	}
+}

@@ -25,6 +25,11 @@ type SavedSurfaces struct {
 	// R2 and RMSE are the headline diagnostics captured at fit time.
 	R2   map[ResponseID]float64 `json:"r2"`
 	RMSE map[ResponseID]float64 `json:"rmse"`
+	// PRESS and R2Pred are the leave-one-out cross-validation diagnostics
+	// (prediction sum of squares and its scale-free form 1 − PRESS/TotalSS),
+	// captured at fit time. Absent from files written by older releases.
+	PRESS  map[ResponseID]float64 `json:"press,omitempty"`
+	R2Pred map[ResponseID]float64 `json:"r2_pred,omitempty"`
 
 	// Provenance of the build.
 	DesignName string  `json:"design"`
@@ -47,6 +52,8 @@ func (s *Surfaces) Save(designName string, runs int) *SavedSurfaces {
 		Coef:       make(map[ResponseID][]float64, len(s.Fits)),
 		R2:         make(map[ResponseID]float64, len(s.Fits)),
 		RMSE:       make(map[ResponseID]float64, len(s.Fits)),
+		PRESS:      make(map[ResponseID]float64, len(s.Fits)),
+		R2Pred:     make(map[ResponseID]float64, len(s.Fits)),
 		DesignName: designName,
 		Runs:       runs,
 		Horizon:    s.Problem.Horizon,
@@ -58,6 +65,8 @@ func (s *Surfaces) Save(designName string, runs int) *SavedSurfaces {
 		out.Coef[id] = append([]float64(nil), fit.Coef...)
 		out.R2[id] = fit.R2
 		out.RMSE[id] = fit.RMSE
+		out.PRESS[id] = fit.PRESS
+		out.R2Pred[id] = fit.R2Pred
 	}
 	return out
 }

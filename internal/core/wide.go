@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/doe"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/vibration"
+)
+
+// WideProblem returns the six-factor variant of the standard design
+// problem: the four StandardProblem factors plus excitation amplitude and
+// initial store voltage as design factors. This is the scenario-grid
+// workload the adaptive-vs-fixed benchmark measures savings on — at k=6
+// the fixed CCF reference costs 2⁶+12+3 = 79 runs while the 28-term
+// quadratic needs barely half that, so a sequential build has real room to
+// stop early. Responses are restricted to the smooth indicators (power,
+// energies, final voltage): the stepped counters (packets, uptime,
+// first-tx) are staircase functions a polynomial cannot follow at short
+// horizons and would only measure noise.
+func WideProblem(horizon float64) *Problem {
+	base := sim.DefaultDesign()
+	f0 := base.Harv.ResonantFreq(base.Harv.GapMax)
+	return &Problem{
+		Factors: []doe.Factor{
+			{Name: "period", Min: 2, Max: 20, Unit: "s"},
+			{Name: "supercap", Min: 0.01, Max: 0.1, Unit: "F"},
+			{Name: "vth", Min: 2.6, Max: 3.6, Unit: "V"},
+			{Name: "freq_off", Min: -0.5, Max: 0.5, Unit: "Hz"},
+			// Excitation amplitude spans the T1/T6 experiment levels
+			// (0.6 and 1.0 m/s²) with margin on both sides.
+			{Name: "amp", Min: 0.4, Max: 1.2, Unit: "m/s²"},
+			// Initial store charge state, from just above the node's
+			// brown-out region to just above the threshold range.
+			{Name: "v0", Min: 3.0, Max: 3.6, Unit: "V"},
+		},
+		Responses: []ResponseID{
+			RespHarvestedPower, RespStoredEnergy, RespFinalStoreV, RespNetMargin,
+		},
+		Horizon: horizon,
+		Build: func(nat []float64) (Scenario, error) {
+			d := sim.DefaultDesign()
+			d.Node.Period = nat[0]
+			d.Store.C = nat[1]
+			d.Policy = node.ThresholdPolicy{VThreshold: nat[2]}
+			d.InitialStoreV = nat[5]
+			src := vibration.Sine{Amplitude: nat[4], Freq: f0 + nat[3]}
+			return Scenario{Design: d, Source: src}, nil
+		},
+	}
+}

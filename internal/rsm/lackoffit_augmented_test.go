@@ -1,0 +1,126 @@
+package rsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/doe"
+)
+
+// augmentedDesign builds the non-orthogonal layout the sequential strategy
+// produces: a face-centred CCD base, D-optimally augmented off-grid points,
+// and replicate groups of *unequal* sizes (3×, 2×, plus the base's centre
+// runs). Returns the runs and the expected pure-error DoF Σ(nᵢ−1).
+func augmentedDesign(t *testing.T) ([][]float64, int) {
+	t.Helper()
+	base, err := doe.CentralComposite(2, doe.CCF, 3) // centre ×3
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := doe.CandidateLattice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := doe.AugmentDOptimal(base, cands, 4, func(x []float64) []float64 {
+		return FullQuadratic(2).Row(x)
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := aug.Runs
+	// Unequal replicate groups at non-axial, non-centre settings.
+	for i := 0; i < 3; i++ {
+		runs = append(runs, []float64{0.5, -0.5})
+	}
+	for i := 0; i < 2; i++ {
+		runs = append(runs, []float64{-1, 0.5})
+	}
+	// centre ×3 → 2 DoF; (0.5,−0.5) ×3 → 2; (−1,0.5) ×2 → 1.
+	return runs, 2 + 2 + 1
+}
+
+func TestLackOfFitAugmentedUnequalReplicatesClean(t *testing.T) {
+	runs, wantPureDoF := augmentedDesign(t)
+	truth := func(x []float64) float64 {
+		return 2 - x[0] + 0.5*x[1] + x[0]*x[0] - 0.7*x[0]*x[1]
+	}
+	rng := rand.New(rand.NewSource(21))
+	y := make([]float64, len(runs))
+	for i, r := range runs {
+		y[i] = truth(r) + 0.05*rng.NormFloat64()
+	}
+	fit, err := FitModel(FullQuadratic(2), runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof, err := fit.LackOfFitTest(runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lof.PureErrorDoF != wantPureDoF {
+		t.Fatalf("pure-error DoF = %d, want %d", lof.PureErrorDoF, wantPureDoF)
+	}
+	if lof.Replicates != 3 {
+		t.Fatalf("replicate groups = %d, want 3", lof.Replicates)
+	}
+	// distinct = n − (replicated copies beyond the first per group).
+	distinct := len(runs) - wantPureDoF
+	if lof.LackDoF != distinct-fit.Model.P() {
+		t.Fatalf("lack DoF = %d, want %d", lof.LackDoF, distinct-fit.Model.P())
+	}
+	if math.Abs(lof.PureErrorSS+lof.LackSS-fit.ResidualSS) > 1e-9*(1+fit.ResidualSS) {
+		t.Fatal("SS decomposition broken on non-orthogonal design")
+	}
+	if lof.Significant(0.01) {
+		t.Fatalf("false alarm on quadratic truth: F=%v p=%v", lof.F, lof.P)
+	}
+}
+
+func TestLackOfFitAugmentedUnequalReplicatesDetectsCurvature(t *testing.T) {
+	runs, _ := augmentedDesign(t)
+	truth := func(x []float64) float64 {
+		return 1 + x[0] + x[1] + 6*x[0]*x[0]*x[1]*x[1]
+	}
+	rng := rand.New(rand.NewSource(22))
+	y := make([]float64, len(runs))
+	for i, r := range runs {
+		y[i] = truth(r) + 0.02*rng.NormFloat64()
+	}
+	fit, err := FitModel(FullQuadratic(2), runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof, err := fit.LackOfFitTest(runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lof.Significant(0.01) {
+		t.Fatalf("quartic interaction not detected on augmented design: F=%v p=%v", lof.F, lof.P)
+	}
+}
+
+func TestLackOfFitAugmentedDeterministicReplicates(t *testing.T) {
+	// Deterministic responses: unequal replicate groups are bit-identical,
+	// so pure error is exactly zero and the degenerate F=∞ path must hold
+	// on the non-orthogonal layout too.
+	runs, _ := augmentedDesign(t)
+	y := make([]float64, len(runs))
+	for i, r := range runs {
+		y[i] = 1 + r[0] + 4*r[0]*r[0]*r[1]*r[1]
+	}
+	fit, err := FitModel(FullQuadratic(2), runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof, err := fit.LackOfFitTest(runs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lof.PureErrorSS != 0 {
+		t.Fatalf("deterministic replicates must have zero pure error, got %v", lof.PureErrorSS)
+	}
+	if !math.IsInf(lof.F, 1) || lof.P != 0 {
+		t.Fatalf("degenerate path broken on augmented design: %+v", lof)
+	}
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// adaptiveFakeProblem is the deterministic fake-engine StandardProblem the
+// adaptive e2e tests build against: responses are cheap smooth functions of
+// the design (plus the packets staircase), so the sequential loop converges
+// in a couple of rounds without touching the real simulator.
+func adaptiveFakeProblem(amp, horizon float64) *core.Problem {
+	p := core.StandardProblem(amp, horizon)
+	p.Engine = func(d sim.Design, cfg sim.Config) (*sim.Result, error) {
+		return chaosResult(d), nil
+	}
+	p.EngineName = "adaptive-fake"
+	p.Runner = simcache.Direct{}
+	return p
+}
+
+// TestAdaptiveBuildE2E drives the adaptive strategy through the full HTTP
+// surface: submit, poll, per-round stats on the job view, PRESS/R²-pred on
+// the model detail and /v1/validate rows, and the point-accounting metrics.
+func TestAdaptiveBuildE2E(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Problem: adaptiveFakeProblem, QueueCap: 4})
+
+	resp, body := postJSON(t, ts.URL+"/v1/build", BuildRequest{
+		Model: "ad", Strategy: StrategyAdaptive, Horizon: 1, Seed: 1, Workers: 2,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("adaptive build rejected: %d %s", resp.StatusCode, body)
+	}
+	var accepted BuildAccepted
+	unmarshal(t, body, &accepted)
+	if accepted.Job.Strategy != StrategyAdaptive {
+		t.Fatalf("accepted job lost its strategy: %+v", accepted.Job)
+	}
+	if accepted.Job.Design != StrategyAdaptive {
+		t.Fatalf("adaptive job must report design %q, got %q", StrategyAdaptive, accepted.Job.Design)
+	}
+
+	job := waitState(t, srv.Jobs(), accepted.Job.ID, JobDone)
+	st := job.Adaptive
+	if st == nil {
+		t.Fatalf("finished adaptive job carries no adaptive stats: %+v", job)
+	}
+	if st.PointsSimulated <= 0 || st.PointsSimulated > st.FixedPoints {
+		t.Fatalf("points simulated %d outside (0, %d]", st.PointsSimulated, st.FixedPoints)
+	}
+	if st.FixedPoints != core.FixedEquivalentPoints(4) {
+		t.Fatalf("fixed reference %d, want %d", st.FixedPoints, core.FixedEquivalentPoints(4))
+	}
+	if st.StopReason != core.StopConverged {
+		t.Fatalf("smooth fake responses must converge, stopped with %q after %d points",
+			st.StopReason, st.PointsSimulated)
+	}
+	if st.PointsSkipped == 0 {
+		t.Fatalf("converged adaptive build skipped no points vs fixed %d: %+v", st.FixedPoints, st)
+	}
+	if len(st.Rounds) < 2 {
+		t.Fatalf("adaptive build must record its rounds, got %+v", st.Rounds)
+	}
+	if job.Runs != st.PointsSimulated {
+		t.Fatalf("job runs %d disagree with adaptive points %d", job.Runs, st.PointsSimulated)
+	}
+	if len(job.R2) == 0 || job.SimMillis < 0 {
+		t.Fatalf("adaptive job finished without build stats: %+v", job)
+	}
+
+	// The model is registered with the leave-one-out diagnostics exposed.
+	resp, body = get(t, ts.URL+"/v1/models/ad")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model detail: %d %s", resp.StatusCode, body)
+	}
+	var md ModelDetail
+	unmarshal(t, body, &md)
+	if md.Runs != st.PointsSimulated {
+		t.Fatalf("model runs %d, want the adaptive point count %d", md.Runs, st.PointsSimulated)
+	}
+	if len(md.R2Pred) != len(md.R2) || len(md.PRESS) != len(md.R2) {
+		t.Fatalf("model detail missing PRESS/R²-pred: press=%v r2_pred=%v", md.PRESS, md.R2Pred)
+	}
+
+	// /v1/validate echoes the training R²-pred next to fresh-point errors.
+	resp, body = postJSON(t, ts.URL+"/v1/validate", ValidateRequest{Model: "ad", N: 2, Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("validate: %d %s", resp.StatusCode, body)
+	}
+	var vr ValidateResponse
+	unmarshal(t, body, &vr)
+	if len(vr.Rows) == 0 {
+		t.Fatalf("validate returned no rows: %s", body)
+	}
+	for _, row := range vr.Rows {
+		if row.R2Pred < 0.5 {
+			t.Fatalf("response %s reports R²-pred %v, want the near-perfect fake fit", row.Response, row.R2Pred)
+		}
+	}
+
+	// The point accounting shows up on /metrics.
+	_, mbody := get(t, ts.URL+"/metrics")
+	page := string(mbody)
+	if v := metricValue(t, page, "ehdoed_build_rounds"); v != float64(len(st.Rounds)) {
+		t.Fatalf("ehdoed_build_rounds %g, want %d", v, len(st.Rounds))
+	}
+	if v := metricValue(t, page, "ehdoed_build_points_simulated_total"); v != float64(st.PointsSimulated) {
+		t.Fatalf("ehdoed_build_points_simulated_total %g, want %d", v, st.PointsSimulated)
+	}
+	if v := metricValue(t, page, "ehdoed_build_points_skipped_total"); v != float64(st.PointsSkipped) {
+		t.Fatalf("ehdoed_build_points_skipped_total %g, want %d", v, st.PointsSkipped)
+	}
+
+	// The published spec documents the new request field.
+	if _, sbody := get(t, ts.URL+"/v1/spec"); !strings.Contains(string(sbody), `"strategy"`) {
+		t.Fatalf("/v1/spec does not document the strategy field")
+	}
+}
+
+// TestFixedStrategyBitIdentity pins the regression bar: strategy "fixed" —
+// spelled explicitly or defaulted — produces bit-for-bit the experiment the
+// pre-strategy API produced, and a fixed build counts one round and zero
+// skipped points.
+func TestFixedStrategyBitIdentity(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Problem: adaptiveFakeProblem, QueueCap: 4})
+
+	def := fleetBuild(t, ts.URL, BuildRequest{
+		Model: "fx-default", Design: "ccf", Horizon: 1, Seed: 1,
+	})
+	if done := pollJob(t, ts.URL, def.ID); done.State != string(JobDone) {
+		t.Fatalf("default-strategy build did not finish: %+v", done)
+	}
+	exp := fleetBuild(t, ts.URL, BuildRequest{
+		Model: "fx-explicit", Strategy: StrategyFixed, Design: "ccf", Horizon: 1, Seed: 1,
+	})
+	if exp.Strategy != StrategyFixed {
+		t.Fatalf("explicit fixed strategy not echoed: %+v", exp)
+	}
+	done := pollJob(t, ts.URL, exp.ID)
+	if done.State != string(JobDone) {
+		t.Fatalf("explicit-fixed build did not finish: %+v", done)
+	}
+	if done.Adaptive != nil {
+		t.Fatalf("fixed build must not carry adaptive stats: %+v", done.Adaptive)
+	}
+	sameModelData(t, srv, "fx-explicit", "fx-default")
+
+	_, mbody := get(t, ts.URL+"/metrics")
+	page := string(mbody)
+	if v := metricValue(t, page, "ehdoed_build_rounds"); v != 2 {
+		t.Fatalf("two fixed builds must count two rounds, got %g", v)
+	}
+	if v := metricValue(t, page, "ehdoed_build_points_simulated_total"); v != 54 {
+		t.Fatalf("two ccf builds simulate 54 points, got %g", v)
+	}
+	if v := metricValue(t, page, "ehdoed_build_points_skipped_total"); v != 0 {
+		t.Fatalf("fixed builds skip nothing, got %g", v)
+	}
+}
+
+// TestAdaptiveBuildValidation pins the request contract: unknown strategies
+// are bad_field, and design/runs conflict with the adaptive strategy.
+func TestAdaptiveBuildValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Problem: adaptiveFakeProblem})
+
+	cases := []struct {
+		name string
+		req  BuildRequest
+		code string
+	}{
+		{"unknown strategy", BuildRequest{Model: "m", Strategy: "bogus"}, codeBadField},
+		{"adaptive with design", BuildRequest{Model: "m", Strategy: StrategyAdaptive, Design: "ccf"}, codeInvalidRequest},
+		{"adaptive with runs", BuildRequest{Model: "m", Strategy: StrategyAdaptive, Runs: 30}, codeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/build", tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%+v: got %d %s, want 400", tc.req, resp.StatusCode, body)
+			}
+			var e errorBody
+			unmarshal(t, body, &e)
+			if e.Code != tc.code {
+				t.Fatalf("error code %q, want %q (%s)", e.Code, tc.code, body)
+			}
+		})
+	}
+}
+
+// TestAdaptiveBuildChaosE2E is the fault-tolerance acceptance run for the
+// sequential loop behind the API: under seeded transient errors and panics
+// the adaptive build must retry through every round, converge to a
+// registered model, and count its recoveries — the same machinery a fixed
+// build inherits, exercised across round boundaries.
+func TestAdaptiveBuildChaosE2E(t *testing.T) {
+	inj := fault.New(fault.Config{
+		Seed:       11,
+		PTransient: 0.2,
+		PPanic:     0.1,
+	})
+	retry := core.RetryPolicy{MaxAttempts: 10, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond}
+	srv, ts := newTestServer(t, Config{Problem: chaosProblem(inj, retry), QueueCap: 4})
+
+	resp, body := postJSON(t, ts.URL+"/v1/build", BuildRequest{
+		Model: "ad-chaos", Strategy: StrategyAdaptive, Horizon: 1, Seed: 1, Workers: 1,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("adaptive build under chaos rejected: %d %s", resp.StatusCode, body)
+	}
+	var accepted BuildAccepted
+	unmarshal(t, body, &accepted)
+
+	job := waitState(t, srv.Jobs(), accepted.Job.ID, JobDone)
+	if job.Retries == 0 {
+		t.Fatalf("chaos adaptive build saw no retries — injector not in the path? %+v", job)
+	}
+	if job.Adaptive == nil || len(job.Adaptive.Rounds) == 0 {
+		t.Fatalf("chaos adaptive build lost its round record: %+v", job)
+	}
+	ss, ok := srv.Registry().Get("ad-chaos")
+	if !ok {
+		t.Fatal("chaos adaptive build must still register its model")
+	}
+	if ss.Runs != job.Adaptive.PointsSimulated {
+		t.Fatalf("registered model has %d runs, stats claim %d", ss.Runs, job.Adaptive.PointsSimulated)
+	}
+
+	_, mbody := get(t, ts.URL+"/metrics")
+	if v := metricValue(t, string(mbody), "ehdoed_run_retries_total"); v < float64(job.Retries) {
+		t.Fatalf("ehdoed_run_retries_total %g < job retries %d", v, job.Retries)
+	}
+}
+
+// TestAdaptiveClusterBuildE2E shards every adaptive round across a worker
+// fleet (pool "cluster") and requires the result to be bit-identical to the
+// same adaptive build run on the local pool: the sequential loop must not
+// care which fabric simulates its rounds.
+func TestAdaptiveClusterBuildE2E(t *testing.T) {
+	srv, ts := newTestServer(t, Config{QueueCap: 4, Problem: fleetProblem, Cluster: fastFleet()})
+
+	ids := []string{"aw-1", "aw-2"}
+	for _, id := range ids {
+		startFleetWorker(t, ts.URL, id, fleetProblem)
+	}
+	waitFleet(t, srv.Coordinator(), len(ids))
+
+	fleet := fleetBuild(t, ts.URL, BuildRequest{
+		Model: "ad-fleet", Strategy: StrategyAdaptive, Horizon: 2, Seed: 1, Pool: PoolCluster,
+	})
+	done := pollJob(t, ts.URL, fleet.ID)
+	if done.State != string(JobDone) {
+		t.Fatalf("adaptive fleet build did not finish: %+v", done)
+	}
+	if done.Adaptive == nil || done.Adaptive.PointsSimulated == 0 {
+		t.Fatalf("adaptive fleet build lost its stats: %+v", done)
+	}
+
+	local := fleetBuild(t, ts.URL, BuildRequest{
+		Model: "ad-local", Strategy: StrategyAdaptive, Horizon: 2, Seed: 1, Workers: 2,
+	})
+	if ld := pollJob(t, ts.URL, local.ID); ld.State != string(JobDone) {
+		t.Fatalf("adaptive local build did not finish: %+v", ld)
+	}
+	sameModelData(t, srv, "ad-fleet", "ad-local")
+
+	// The fleet actually simulated the rounds: completed points across
+	// workers equal the adaptive build's totals (fleet + local runs).
+	total := 0
+	for _, w := range srv.Coordinator().Workers() {
+		total += w.CompletedPoints
+	}
+	if total != done.Adaptive.PointsSimulated {
+		t.Fatalf("fleet completed %d points, adaptive build claims %d", total, done.Adaptive.PointsSimulated)
+	}
+}

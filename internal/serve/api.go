@@ -58,12 +58,16 @@ type ModelSummary struct {
 	Responses []string `json:"responses"`
 }
 
-// ModelDetail adds the factor ranges and fit diagnostics.
+// ModelDetail adds the factor ranges and fit diagnostics. PRESS and R2Pred
+// are the leave-one-out cross-validation diagnostics; models saved by older
+// releases lack them and omit the maps.
 type ModelDetail struct {
 	ModelSummary
 	Factors []FactorView       `json:"factors"`
 	R2      map[string]float64 `json:"r2"`
 	RMSE    map[string]float64 `json:"rmse"`
+	PRESS   map[string]float64 `json:"press,omitempty"`
+	R2Pred  map[string]float64 `json:"r2_pred,omitempty"`
 	HasData bool               `json:"has_data"`
 }
 
@@ -95,6 +99,18 @@ func detail(name string, ss *core.SavedSurfaces) ModelDetail {
 	}
 	for id, v := range ss.RMSE {
 		d.RMSE[string(id)] = v
+	}
+	if len(ss.PRESS) > 0 {
+		d.PRESS = make(map[string]float64, len(ss.PRESS))
+		for id, v := range ss.PRESS {
+			d.PRESS[string(id)] = v
+		}
+	}
+	if len(ss.R2Pred) > 0 {
+		d.R2Pred = make(map[string]float64, len(ss.R2Pred))
+		for id, v := range ss.R2Pred {
+			d.R2Pred[string(id)] = v
+		}
 	}
 	return d
 }
@@ -186,11 +202,16 @@ type ValidateRequest struct {
 	Engine string `json:"engine,omitempty"`
 }
 
-// ValidateRow is the accuracy summary of one response.
+// ValidateRow is the accuracy summary of one response. PRESS and R2Pred
+// echo the model's training leave-one-out diagnostics, so the fresh-point
+// errors can be read against the generalization the fit predicted for
+// itself; models saved by older releases lack them and report zero.
 type ValidateRow struct {
 	Response   string  `json:"response"`
 	MeanAbsErr float64 `json:"mean_abs_err"`
 	MaxAbsErr  float64 `json:"max_abs_err"`
+	PRESS      float64 `json:"press,omitempty"`
+	R2Pred     float64 `json:"r2_pred,omitempty"`
 }
 
 // ValidateResponse reports per-response surface accuracy at the fresh
@@ -208,10 +229,18 @@ type ValidateResponse struct {
 // experiment on the simulator, fit the surfaces, and register them under
 // Model. Design names follow core.DesignNames (default "ccf").
 type BuildRequest struct {
-	Model   string  `json:"model"`
-	Design  string  `json:"design,omitempty"`
-	Runs    int     `json:"runs,omitempty"`
-	Horizon float64 `json:"horizon_s,omitempty"`
+	Model string `json:"model"`
+	// Strategy selects how the experiment is sized: "fixed" (default)
+	// simulates the whole named design up front — bit-identical to previous
+	// releases — while "adaptive" grows a D-optimal design sequentially and
+	// stops as soon as the surfaces converge, typically well under the fixed
+	// design's run count. Adaptive builds choose their own design, so
+	// "design" and "runs" must be left unset. Unknown values are rejected
+	// with code bad_field.
+	Strategy string  `json:"strategy,omitempty"`
+	Design   string  `json:"design,omitempty"`
+	Runs     int     `json:"runs,omitempty"`
+	Horizon  float64 `json:"horizon_s,omitempty"`
 	// Amp is the legacy name for the excitation amplitude; Excite wins
 	// when both are set (default 0.6).
 	Amp     float64 `json:"amp,omitempty" spec:"deprecated"`
@@ -246,10 +275,33 @@ const (
 	EngineReference = core.EngineReference
 )
 
+// Values of BuildRequest.Strategy, mirroring the strategy names
+// internal/core understands.
+const (
+	StrategyFixed    = core.StrategyFixed
+	StrategyAdaptive = core.StrategyAdaptive
+)
+
 // errBadEngine marks a request whose engine field names no known engine.
 // The HTTP layer maps it to code bad_field — the same class as an unknown
 // JSON field, since both are contract violations a client must fix.
 var errBadEngine = errors.New("serve: unknown engine")
+
+// errBadStrategy marks a request whose strategy field names no known build
+// strategy; like errBadEngine it maps to code bad_field.
+var errBadStrategy = errors.New("serve: unknown strategy")
+
+// normalizeStrategy validates a strategy selection and resolves the default.
+func normalizeStrategy(strategy string) (string, error) {
+	switch strategy {
+	case "":
+		return StrategyFixed, nil
+	case StrategyFixed, StrategyAdaptive:
+		return strategy, nil
+	}
+	return "", fmt.Errorf("%w %q (want %q or %q)",
+		errBadStrategy, strategy, StrategyFixed, StrategyAdaptive)
+}
 
 // normalizeEngine validates an engine selection and resolves the default.
 func normalizeEngine(engine string) (string, error) {
@@ -270,6 +322,7 @@ type JobView struct {
 	ID         string             `json:"id"`
 	TraceID    string             `json:"trace_id,omitempty"`
 	Model      string             `json:"model"`
+	Strategy   string             `json:"strategy,omitempty"`
 	Design     string             `json:"design"`
 	State      string             `json:"state"`
 	Runs       int                `json:"runs,omitempty"`
@@ -296,6 +349,10 @@ type JobView struct {
 	// Batch carries the batch scheduler's statistics (lanes, cache peels,
 	// amortized rebuilds) when the build ran under the batch engine.
 	Batch *core.BatchStats `json:"batch,omitempty"`
+	// Adaptive carries the sequential build's per-round convergence record
+	// and point accounting when the build ran under the adaptive strategy;
+	// populated for finished jobs, including failed ones.
+	Adaptive *core.AdaptiveStats `json:"adaptive,omitempty"`
 }
 
 // JobsResponse is a page of job snapshots. NextAfter, when set, is the

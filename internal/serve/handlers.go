@@ -399,6 +399,8 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 			Response:   string(id),
 			MeanAbsErr: sums[id] / float64(n),
 			MaxAbsErr:  maxs[id],
+			PRESS:      ss.PRESS[id],
+			R2Pred:     ss.R2Pred[id],
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -418,7 +420,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Submit(r.Context(), req)
 	if err != nil {
 		switch {
-		case errors.Is(err, errBadEngine):
+		case errors.Is(err, errBadEngine), errors.Is(err, errBadStrategy):
 			writeError(w, http.StatusBadRequest, codeBadField, "%v", err)
 		case errors.Is(err, ErrQueueFull):
 			// A full queue is back-pressure, not a permanent failure: tell

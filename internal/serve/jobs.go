@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/doe"
 	"repro/internal/obs"
 	"repro/internal/rsm"
 	"repro/internal/sim"
@@ -44,9 +45,10 @@ type Job struct {
 	SimTime  time.Duration
 	Speedup  float64
 	R2       map[string]float64
-	Retries  int              // design-run attempts retried after transient faults
-	Panics   int              // simulation panics recovered into errors
-	Batch    *core.BatchStats // batch-scheduler stats when the batch engine ran
+	Retries  int                 // design-run attempts retried after transient faults
+	Panics   int                 // simulation panics recovered into errors
+	Batch    *core.BatchStats    // batch-scheduler stats when the batch engine ran
+	Adaptive *core.AdaptiveStats // per-round record when the adaptive strategy ran
 }
 
 // view renders a snapshot; callers must hold the manager lock.
@@ -55,6 +57,7 @@ func (j *Job) view() JobView {
 		ID:         j.ID,
 		TraceID:    j.Trace,
 		Model:      j.Req.Model,
+		Strategy:   j.Req.Strategy,
 		Design:     j.Req.Design,
 		State:      string(j.State),
 		Runs:       j.Runs,
@@ -65,6 +68,7 @@ func (j *Job) view() JobView {
 		Pool:       j.Req.Pool,
 		Engine:     j.Req.Engine,
 		Batch:      j.Batch,
+		Adaptive:   j.Adaptive,
 		Error:      j.Error,
 		ErrorCode:  j.Code,
 		EnqueuedAt: stamp(j.Enqueued),
@@ -123,6 +127,13 @@ type JobManagerConfig struct {
 	// scheduler's lane and amortized-rebuild counts from finished builds.
 	BatchLanes     *obs.Counter
 	BatchAmortized *obs.Counter
+	// BuildRounds, PointsSimulated and PointsSkipped, when set, accumulate
+	// per-build point accounting from successful builds: rounds executed
+	// (a fixed build counts one), design points actually simulated, and the
+	// points an adaptive build avoided relative to the fixed reference.
+	BuildRounds     *obs.Counter
+	PointsSimulated *obs.Counter
+	PointsSkipped   *obs.Counter
 }
 
 // JobManager owns a bounded queue of build jobs and a single build worker:
@@ -140,6 +151,9 @@ type JobManager struct {
 	cluster    *cluster.Coordinator
 	batchLanes *obs.Counter
 	batchAmort *obs.Counter
+	rounds     *obs.Counter
+	ptsSim     *obs.Counter
+	ptsSkip    *obs.Counter
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -178,6 +192,9 @@ func NewJobManager(cfg JobManagerConfig) *JobManager {
 		cluster:    cfg.Cluster,
 		batchLanes: cfg.BatchLanes,
 		batchAmort: cfg.BatchAmortized,
+		rounds:     cfg.BuildRounds,
+		ptsSim:     cfg.PointsSimulated,
+		ptsSkip:    cfg.PointsSkipped,
 		ctx:        ctx,
 		cancel:     cancel,
 		jobs:       make(map[string]*Job),
@@ -195,6 +212,24 @@ func NewJobManager(cfg JobManagerConfig) *JobManager {
 func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, error) {
 	if req.Model == "" {
 		return JobView{}, fmt.Errorf("serve: build needs a model name")
+	}
+	// Strategy resolves to its explicit spelling up front, like Engine below.
+	strategy, err := normalizeStrategy(req.Strategy)
+	if err != nil {
+		return JobView{}, err
+	}
+	req.Strategy = strategy
+	if req.Strategy == StrategyAdaptive {
+		// The sequential loop picks its own points and sizes itself; a
+		// design name or run count here would be silently ignored, so both
+		// are contract violations.
+		if req.Design != "" {
+			return JobView{}, fmt.Errorf("serve: adaptive builds choose their own design; drop design %q", req.Design)
+		}
+		if req.Runs != 0 {
+			return JobView{}, fmt.Errorf("serve: adaptive builds size the design themselves; drop runs %d", req.Runs)
+		}
+		req.Design = StrategyAdaptive // job snapshots report what actually ran
 	}
 	if req.Design == "" {
 		req.Design = "ccf"
@@ -243,9 +278,14 @@ func (m *JobManager) Submit(ctx context.Context, req BuildRequest) (JobView, err
 	default:
 		return JobView{}, fmt.Errorf("serve: unknown pool %q (want %q or %q)", req.Pool, PoolLocal, PoolCluster)
 	}
-	// Fail fast on an unknown design instead of at run time.
+	// Fail fast on an unknown design (or a problem too small for the
+	// adaptive loop) instead of at run time.
 	k := len(m.problem(req.Amp, req.Horizon).Factors)
-	if _, err := core.NamedDesign(req.Design, k, req.Runs, req.Seed); err != nil {
+	if req.Strategy == StrategyAdaptive {
+		if k < 2 {
+			return JobView{}, fmt.Errorf("serve: adaptive builds need ≥2 factors, the served problem has %d", k)
+		}
+	} else if _, err := core.NamedDesign(req.Design, k, req.Runs, req.Seed); err != nil {
 		return JobView{}, err
 	}
 
@@ -447,6 +487,10 @@ func (m *JobManager) run(j *Job) {
 		p.Engine = sim.RunReference
 		p.EngineName = core.EngineReference
 	}
+	if j.Req.Strategy == StrategyAdaptive {
+		m.runAdaptive(ctx, j, p)
+		return
+	}
 	k := len(p.Factors)
 	design, err := core.NamedDesign(j.Req.Design, k, j.Req.Runs, j.Req.Seed)
 	if err != nil {
@@ -520,10 +564,102 @@ func (m *JobManager) run(j *Job) {
 	dur := j.Finished.Sub(j.Started)
 	m.mu.Unlock()
 	m.countFinished(JobDone)
+	m.countBuildPoints(1, design.N(), 0)
 	lg.Info("job done", "model", j.Req.Model, "runs", design.N(),
 		"dur_ms", float64(dur.Microseconds())/1e3,
 		"sim_ms", float64(ds.SimTime.Microseconds())/1e3,
 		"speedup", ds.Speedup())
+}
+
+// runAdaptive executes one adaptive-strategy build: the sequential
+// D-optimal loop in internal/core, with every round's simulations routed
+// through the same pool a fixed build uses — the local worker pool, or the
+// cluster fleet with round-suffixed job IDs so worker-side logs stay
+// attributable to this job.
+func (m *JobManager) runAdaptive(ctx context.Context, j *Job, p *core.Problem) {
+	lg := m.jobLog(j)
+	m.mu.Lock()
+	j.State = JobRunning
+	j.Started = time.Now()
+	wait := j.Started.Sub(j.Enqueued)
+	m.mu.Unlock()
+	lg.Info("job started", "model", j.Req.Model, "strategy", StrategyAdaptive,
+		"queue_wait_ms", float64(wait.Microseconds())/1e3)
+
+	cfg := core.AdaptiveConfig{Seed: j.Req.Seed, Workers: j.Req.Workers}
+	if j.Req.Pool == PoolCluster {
+		cfg.RunDesign = func(ctx context.Context, d *doe.Design) (*core.Dataset, error) {
+			return m.cluster.RunDesign(ctx, cluster.JobSpec{
+				ID:        j.ID + "-" + d.Name,
+				Trace:     j.Trace,
+				Excite:    j.Req.Amp,
+				Horizon:   j.Req.Horizon,
+				Responses: p.Responses,
+			}, d)
+		}
+	}
+	res, err := p.RunAdaptive(ctx, cfg)
+	if res != nil {
+		// Even a failed build carries its fault-recovery, batch and
+		// per-round stats.
+		ds := res.Dataset
+		m.mu.Lock()
+		j.Adaptive = res.Stats
+		j.Runs = res.Stats.PointsSimulated
+		if ds != nil {
+			j.Retries = ds.Retries
+			j.Panics = ds.PanicsRecovered
+			j.SimTime = ds.SimTime
+			j.Batch = ds.Batch
+		}
+		m.mu.Unlock()
+		if ds != nil && ds.Batch != nil {
+			if m.batchLanes != nil {
+				m.batchLanes.Add(uint64(ds.Batch.Lanes))
+			}
+			if m.batchAmort != nil {
+				m.batchAmort.Add(uint64(ds.Batch.AmortizedRebuilds))
+			}
+		}
+	}
+	if err != nil {
+		state, code, werr := m.classify(ctx, j, err)
+		m.finish(j, state, code, werr)
+		return
+	}
+	saved := res.Surfaces.SaveWithData(res.Dataset)
+	m.registry.Set(j.Req.Model, saved)
+
+	m.mu.Lock()
+	j.State = JobDone
+	j.Finished = time.Now()
+	j.Speedup = res.Dataset.Speedup()
+	j.R2 = make(map[string]float64, len(saved.R2))
+	for id, r2 := range saved.R2 {
+		j.R2[string(id)] = r2
+	}
+	dur := j.Finished.Sub(j.Started)
+	m.mu.Unlock()
+	m.countFinished(JobDone)
+	m.countBuildPoints(len(res.Stats.Rounds), res.Stats.PointsSimulated, res.Stats.PointsSkipped)
+	lg.Info("job done", "model", j.Req.Model, "strategy", StrategyAdaptive,
+		"points", res.Stats.PointsSimulated, "fixed_points", res.Stats.FixedPoints,
+		"rounds", len(res.Stats.Rounds), "stop", res.Stats.StopReason,
+		"dur_ms", float64(dur.Microseconds())/1e3,
+		"sim_ms", float64(res.Dataset.SimTime.Microseconds())/1e3)
+}
+
+// countBuildPoints feeds the fleet-wide build point-accounting counters.
+func (m *JobManager) countBuildPoints(rounds, simulated, skipped int) {
+	if m.rounds != nil {
+		m.rounds.Add(uint64(rounds))
+	}
+	if m.ptsSim != nil {
+		m.ptsSim.Add(uint64(simulated))
+	}
+	if m.ptsSkip != nil {
+		m.ptsSkip.Add(uint64(skipped))
+	}
 }
 
 // classify maps a failed build's error to its terminal state and

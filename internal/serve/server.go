@@ -154,6 +154,12 @@ func New(cfg Config) (*Server, error) {
 		"Design points simulated inside lockstep batch lanes.")
 	batchAmort := s.reg.Counter("ehdoed_sim_batch_rebuild_amortized_total",
 		"Batch-lane ZOH rebuilds answered by a bake shared with another lane.")
+	buildRounds := s.reg.Counter("ehdoed_build_rounds",
+		"Design rounds executed by finished builds (a fixed build counts one round).")
+	buildPtsSim := s.reg.Counter("ehdoed_build_points_simulated_total",
+		"Design points simulated by finished builds.")
+	buildPtsSkip := s.reg.Counter("ehdoed_build_points_skipped_total",
+		"Design points adaptive builds avoided relative to the fixed-strategy reference design.")
 	cache.RegisterMetrics(s.reg, "ehdoed_simcache")
 	if cfg.ModelsDir != "" {
 		if _, err := s.registry.LoadDir(cfg.ModelsDir); err != nil {
@@ -178,6 +184,10 @@ func New(cfg Config) (*Server, error) {
 
 		BatchLanes:     batchLanes,
 		BatchAmortized: batchAmort,
+
+		BuildRounds:     buildRounds,
+		PointsSimulated: buildPtsSim,
+		PointsSkipped:   buildPtsSkip,
 	})
 	s.reg.GaugeFunc("ehdoed_queue_depth",
 		"Build jobs waiting in the bounded queue behind the running one.",
